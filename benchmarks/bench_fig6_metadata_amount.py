@@ -1,0 +1,38 @@
+"""Fig. 6 — multi-round PDD vs metadata amount (5k → 20k entries).
+
+Paper shape: recall stays ≈100% across the whole range; latency grows
+sublinearly (5.6 s → 11.2 s); overhead grows ≈linearly (5.13 → 22.21 MB).
+"""
+
+from conftest import scaled
+
+from repro.experiments.figures import fig6_metadata_amount
+from repro.experiments.runner import render_table
+
+
+def test_fig6_metadata_amount(benchmark, bench_seeds, bench_scale, record_table):
+    amounts = tuple(
+        scaled(a, bench_scale, minimum=300) for a in (5000, 10000, 15000, 20000)
+    )
+
+    def run():
+        return fig6_metadata_amount.run(amounts=amounts, seeds=bench_seeds)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "fig6",
+        render_table(
+            "Fig. 6 — PDD vs metadata amount",
+            ["entries", "recall", "latency_s", "overhead_mb", "rounds"],
+            rows,
+        ),
+    )
+
+    recalls = [r["recall"] for r in rows]
+    latencies = [r["latency_s"] for r in rows]
+    overheads = [r["overhead_mb"] for r in rows]
+    assert all(r > 0.97 for r in recalls), "multi-round PDD stays complete"
+    assert latencies[-1] > latencies[0], "latency grows with load"
+    assert overheads[-1] > overheads[0] * 2, "overhead ≈ linear in load"
+    # Sublinearity: 4x the entries costs less than ~4x the latency.
+    assert latencies[-1] < latencies[0] * 5

@@ -1,0 +1,38 @@
+"""§VI-B preamble — single-round PDD (no ack) saturation scan.
+
+Paper shape: recall ≈0.35 (1 copy) / ≈0.55 (2 copies) at moderate loads,
+degrading beyond ≈10,000 total entries.
+"""
+
+from conftest import scaled
+
+from repro.experiments.figures import saturation
+from repro.experiments.runner import render_table
+
+
+def test_saturation_scan(benchmark, bench_seeds, bench_scale, record_table):
+    amounts = tuple(scaled(a, bench_scale, minimum=200) for a in (2500, 5000, 10000, 20000))
+
+    def run():
+        return saturation.run(
+            amounts=amounts, redundancies=(1, 2), seeds=bench_seeds
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "saturation",
+        render_table(
+            "§VI-B — single-round PDD (no ack) recall",
+            ["entries", "redundancy", "recall"],
+            rows,
+        ),
+    )
+
+    one_copy = [r["recall"] for r in rows if r["redundancy"] == 1]
+    two_copies = [r["recall"] for r in rows if r["redundancy"] == 2]
+    # A single unreliable round never reaches full recall on a 10x10 grid.
+    assert all(r < 0.95 for r in one_copy)
+    # Redundancy helps recall at equal load.
+    assert sum(two_copies) > sum(one_copy)
+    # Recall degrades toward the stress end of the load axis.
+    assert one_copy[-1] <= one_copy[0] + 0.05

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Festival video sharing: popular-content retrieval, PDR vs the baseline.
+
+The paper's motivating large-data scenario (§I, §VI-B-3): a memorable
+moment was filmed at a music festival and several people already hold
+copies.  A newcomer retrieves the 8 MB clip.  We run the retrieval twice
+— once with two-phase PDR (chunk-distribution information + recursive
+nearest-copy retrieval) and once with the multi-round MDR baseline — and
+compare latency and message overhead, reproducing the Figs. 13–14 story
+at example scale.
+
+Run:  python examples/festival_video_sharing.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Device, MdrSession, RetrievalSession, RoundConfig, Simulator
+from repro.experiments import (
+    build_grid_scenario,
+    distribute_chunks,
+    make_video_item,
+)
+
+
+def retrieve(method: str, redundancy: int, seed: int = 3) -> str:
+    scenario = build_grid_scenario(rows=8, cols=8, seed=seed)
+    item = make_video_item(8 * 1024 * 1024, name="headliner-encore")
+    distribute_chunks(
+        scenario.devices,
+        item,
+        scenario.workload_rng(),
+        redundancy=redundancy,
+        exclude=scenario.consumers,
+    )
+    consumer = scenario.device(scenario.consumers[0])
+    if method == "pdr":
+        session = RetrievalSession(
+            consumer, item.descriptor, total_chunks=item.total_chunks
+        )
+    else:
+        session = MdrSession(
+            consumer,
+            item.descriptor,
+            total_chunks=item.total_chunks,
+            round_config=RoundConfig(window_s=5.0),
+        )
+    scenario.sim.schedule(0.0, session.start)
+    scenario.sim.run(until=600.0)
+    return (
+        f"{method.upper()} redundancy={redundancy}: "
+        f"{len(session.have)}/{item.total_chunks} chunks, "
+        f"latency {session.result.latency:6.1f}s, "
+        f"overhead {scenario.stats.bytes_sent / 1e6:6.1f} MB"
+    )
+
+
+def main() -> None:
+    print("8 MB clip, 8x8 grid of phones, consumer at the centre\n")
+    for redundancy in (1, 4):
+        print(retrieve("pdr", redundancy))
+        print(retrieve("mdr", redundancy))
+        print()
+    print(
+        "Note the crossover: with one copy the simple multi-round baseline\n"
+        "is competitive, but as the clip becomes popular (more copies) PDR's\n"
+        "nearest-copy retrieval stays flat while MDR transmits duplicates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Legacy setup shim so ``pip install -e .`` works without the wheel package.
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+editable-install path in offline environments.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,75 @@
+"""PDS — Content Centric Peer Data Sharing in Pervasive Edge Computing.
+
+A from-scratch Python reproduction of the ICDCS 2017 paper: the PDD/PDR
+protocol core, a discrete-event wireless substrate replacing NS-3, the
+Android-prototype link model, mobility generators, and a benchmark harness
+regenerating every figure of the paper's evaluation.
+
+Typical use::
+
+    from repro import (
+        Simulator, build_grid, BroadcastMedium, Device, DiscoverySession,
+    )
+
+See ``examples/quickstart.py`` for a complete scenario.
+"""
+
+from repro.bloom import BloomFilter
+from repro.core import (
+    DiscoverySession,
+    MdrSession,
+    RetrievalSession,
+    RoundConfig,
+    SessionResult,
+)
+from repro.data import (
+    Chunk,
+    DataDescriptor,
+    DataItem,
+    DataStore,
+    Predicate,
+    QuerySpec,
+    make_descriptor,
+    make_item,
+)
+from repro.net import (
+    BroadcastMedium,
+    NetworkStats,
+    Topology,
+    build_grid,
+    center_node,
+    center_subgrid,
+)
+from repro.node import Device, DeviceConfig, ProtocolConfig
+from repro.sim import RngRegistry, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BloomFilter",
+    "BroadcastMedium",
+    "Chunk",
+    "DataDescriptor",
+    "DataItem",
+    "DataStore",
+    "Device",
+    "DeviceConfig",
+    "DiscoverySession",
+    "MdrSession",
+    "NetworkStats",
+    "Predicate",
+    "ProtocolConfig",
+    "QuerySpec",
+    "RetrievalSession",
+    "RngRegistry",
+    "RoundConfig",
+    "SessionResult",
+    "Simulator",
+    "Topology",
+    "build_grid",
+    "center_node",
+    "center_subgrid",
+    "make_descriptor",
+    "make_item",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Bloom filters with per-round hash families (§III-B-2, §V-3)."""
+
+from repro.bloom.bloom_filter import BloomFilter, NullFilter, make_round_filter
+from repro.bloom.sizing import (
+    DEFAULT_FALSE_POSITIVE_RATE,
+    expected_false_positive_rate,
+    optimal_parameters,
+)
+
+__all__ = [
+    "BloomFilter",
+    "DEFAULT_FALSE_POSITIVE_RATE",
+    "NullFilter",
+    "expected_false_positive_rate",
+    "make_round_filter",
+    "optimal_parameters",
+]

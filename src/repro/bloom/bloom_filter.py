@@ -1,0 +1,186 @@
+"""The Bloom filter carried inside PDS queries (§III-B-2, §V-3).
+
+The filter supports the operations the protocol needs:
+
+* membership insert/test on arbitrary byte keys (descriptor stable keys),
+* a *seed* identifying the hash family, varied per discovery round,
+* in-place union (used when a node merges knowledge into a lingering
+  query's cached filter),
+* wire-size accounting for message-overhead metrics.
+
+Bloom filters guarantee no false negatives; false positives occur at a
+controlled rate.  Property tests in ``tests/bloom`` verify both.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.bloom.hashing import indexes
+from repro.bloom.sizing import (
+    DEFAULT_FALSE_POSITIVE_RATE,
+    expected_false_positive_rate,
+    optimal_parameters,
+)
+from repro.errors import ConfigurationError
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over byte-string keys."""
+
+    __slots__ = ("m_bits", "k_hashes", "seed", "_bits", "count")
+
+    def __init__(self, m_bits: int, k_hashes: int, seed: int = 0) -> None:
+        if m_bits <= 0:
+            raise ConfigurationError(f"m_bits must be positive, got {m_bits}")
+        if k_hashes <= 0:
+            raise ConfigurationError(f"k_hashes must be positive, got {k_hashes}")
+        self.m_bits = m_bits
+        self.k_hashes = k_hashes
+        self.seed = seed
+        self._bits = bytearray((m_bits + 7) // 8)
+        #: Number of insert() calls (an upper bound on distinct elements).
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_capacity(
+        cls,
+        expected_elements: int,
+        false_positive_rate: float = DEFAULT_FALSE_POSITIVE_RATE,
+        seed: int = 0,
+    ) -> "BloomFilter":
+        """Build an optimally sized filter for the expected load."""
+        m_bits, k_hashes = optimal_parameters(expected_elements, false_positive_rate)
+        return cls(m_bits, k_hashes, seed)
+
+    @classmethod
+    def empty(cls, seed: int = 0) -> "BloomFilter":
+        """A minimal filter representing the empty set."""
+        return cls.for_capacity(0, seed=seed)
+
+    # ------------------------------------------------------------------
+    def insert(self, key: bytes) -> None:
+        """Add ``key`` to the set."""
+        for index in indexes(key, self.seed, self.k_hashes, self.m_bits):
+            self._bits[index >> 3] |= 1 << (index & 7)
+        self.count += 1
+
+    def __contains__(self, key: bytes) -> bool:
+        return all(
+            self._bits[index >> 3] & (1 << (index & 7))
+            for index in indexes(key, self.seed, self.k_hashes, self.m_bits)
+        )
+
+    def insert_all(self, keys: Iterable[bytes]) -> None:
+        """Add every key in ``keys``."""
+        for key in keys:
+            self.insert(key)
+
+    def union_update(self, other: "BloomFilter") -> None:
+        """In-place union with a filter of identical geometry and seed.
+
+        Raises:
+            ConfigurationError: on geometry/seed mismatch (the union of
+                differently hashed filters is not meaningful).
+        """
+        if (
+            other.m_bits != self.m_bits
+            or other.k_hashes != self.k_hashes
+            or other.seed != self.seed
+        ):
+            raise ConfigurationError("cannot union Bloom filters of different geometry")
+        for i, byte in enumerate(other._bits):
+            self._bits[i] |= byte
+        self.count += other.count
+
+    def copy(self) -> "BloomFilter":
+        """An independent copy."""
+        clone = BloomFilter(self.m_bits, self.k_hashes, self.seed)
+        clone._bits = bytearray(self._bits)
+        clone.count = self.count
+        return clone
+
+    # ------------------------------------------------------------------
+    def wire_size(self) -> int:
+        """Serialized size in bytes: bit array + small fixed header."""
+        return len(self._bits) + 6  # m(3B), k(1B), seed(2B) in a compact coding
+
+    def estimated_false_positive_rate(self) -> float:
+        """Analytical FP rate at the current load."""
+        return expected_false_positive_rate(self.m_bits, self.k_hashes, self.count)
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set (diagnostic)."""
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.m_bits
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(m={self.m_bits}, k={self.k_hashes}, "
+            f"seed={self.seed}, count={self.count})"
+        )
+
+
+class NullFilter:
+    """A filter that contains nothing and ignores inserts.
+
+    Used when redundancy detection is disabled (e.g. single-round PDD
+    baselines) so protocol code can treat the filter uniformly.
+    """
+
+    seed = 0
+
+    def insert(self, key: bytes) -> None:
+        """Ignore the key (the null set absorbs nothing)."""
+        pass
+
+    def insert_all(self, keys: Iterable[bytes]) -> None:  # noqa: D102
+        pass
+
+    def __contains__(self, key: bytes) -> bool:
+        return False
+
+    def copy(self) -> "NullFilter":  # noqa: D102
+        return self
+
+    def wire_size(self) -> int:  # noqa: D102
+        return 0
+
+
+#: Either a real Bloom filter or the null object.
+FilterLike = object
+
+
+#: Capacity headroom for en-route insertions (§III-B-2): every node on a
+#: flood path inserts the entries it just sent into the query's filter, so
+#: the filter must be sized for more than the consumer's received set or
+#: it overfills mid-path and false positives silently suppress responses.
+DEFAULT_ENROUTE_HEADROOM = 600
+
+
+def make_round_filter(
+    received_keys: Iterable[bytes],
+    round_index: int,
+    false_positive_rate: float = DEFAULT_FALSE_POSITIVE_RATE,
+    max_bits: Optional[int] = None,
+    headroom: int = DEFAULT_ENROUTE_HEADROOM,
+) -> BloomFilter:
+    """Build the per-round query filter over already-received entries.
+
+    The seed is the round index, so every round uses a different hash family
+    (§V-3).  ``max_bits`` caps the filter size; with per-round seeds the
+    residual false-positive probability still decays across rounds.
+    ``headroom`` reserves capacity for the entries relay nodes will insert
+    en-route (roughly one path's worth of responses).
+    """
+    keys = list(received_keys)
+    m_bits, k_hashes = optimal_parameters(
+        len(keys) + max(0, headroom), false_positive_rate
+    )
+    if max_bits is not None and m_bits > max_bits:
+        m_bits = max_bits
+        k_hashes = max(1, int(round(m_bits / max(1, len(keys) + headroom) * 0.693)))
+    bloom = BloomFilter(m_bits, k_hashes, seed=round_index)
+    bloom.insert_all(keys)
+    return bloom

@@ -1,0 +1,58 @@
+"""Optimal Bloom-filter sizing (§V-3).
+
+Given an expected number of elements ``n`` and a target false-positive rate
+``p``, the textbook-optimal parameters are::
+
+    m = -n * ln(p) / (ln 2)^2        (bits)
+    k = (m / n) * ln 2               (hash functions)
+
+PDS computes a fresh, small filter per round from the number of entries
+already received.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default target false-positive probability the consumer aims for (§V-3).
+DEFAULT_FALSE_POSITIVE_RATE = 0.01
+
+#: Lower bound so degenerate inputs still produce a working filter.
+MIN_BITS = 64
+
+
+def optimal_parameters(
+    expected_elements: int,
+    false_positive_rate: float = DEFAULT_FALSE_POSITIVE_RATE,
+) -> Tuple[int, int]:
+    """Return ``(m_bits, k_hashes)`` for the requested operating point.
+
+    Raises:
+        ConfigurationError: for non-positive rates or rates >= 1.
+    """
+    if not 0.0 < false_positive_rate < 1.0:
+        raise ConfigurationError(
+            f"false positive rate must be in (0, 1), got {false_positive_rate}"
+        )
+    if expected_elements <= 0:
+        return MIN_BITS, 1
+    m = -expected_elements * math.log(false_positive_rate) / (math.log(2) ** 2)
+    m_bits = max(MIN_BITS, int(math.ceil(m)))
+    k = (m_bits / expected_elements) * math.log(2)
+    # Cap k: past ~32 hashes the FP gain is nil and per-probe cost real
+    # (only reachable when the MIN_BITS floor dwarfs a tiny element count).
+    k_hashes = max(1, min(32, int(round(k))))
+    return m_bits, k_hashes
+
+
+def expected_false_positive_rate(m_bits: int, k_hashes: int, elements: int) -> float:
+    """The analytical false-positive probability after ``elements`` inserts."""
+    if elements <= 0:
+        return 0.0
+    if m_bits <= 0:
+        return 1.0
+    fill = 1.0 - math.exp(-k_hashes * elements / m_bits)
+    return fill**k_hashes

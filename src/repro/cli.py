@@ -1,0 +1,88 @@
+"""Command-line interface: regenerate any figure of the paper.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig4
+    python -m repro fig13_14 --seeds 5 --scale 1.0
+    python -m repro all --seeds 2 --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.experiments.figures import REGISTRY
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the evaluation figures of 'Content Centric Peer "
+            "Data Sharing in Pervasive Edge Computing Environments' "
+            "(ICDCS 2017)."
+        ),
+    )
+    parser.add_argument(
+        "figure",
+        help="figure id (see `list`), `all`, `list`, or `report` "
+        "(rebuild EXPERIMENTS.md from benchmarks/results)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help="number of seeds per data point (paper: 5)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale factor (paper: 1.0)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.seeds is not None:
+        os.environ["REPRO_SEEDS"] = str(args.seeds)
+    if args.scale is not None:
+        os.environ["REPRO_SCALE"] = str(args.scale)
+
+    if args.figure == "list":
+        print("Available figures:")
+        for figure_id, module in REGISTRY.items():
+            summary = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {figure_id:12s} {summary}")
+        return 0
+
+    if args.figure == "report":
+        from repro.experiments.report import main as report_main
+
+        return report_main([])
+
+    if args.figure == "all":
+        for figure_id, module in REGISTRY.items():
+            print(f"== {figure_id} ==")
+            print(module.main())
+            print()
+        return 0
+
+    module = REGISTRY.get(args.figure)
+    if module is None:
+        print(
+            f"unknown figure {args.figure!r}; try `python -m repro list`",
+            file=sys.stderr,
+        )
+        return 2
+    print(module.main())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

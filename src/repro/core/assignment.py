@@ -1,0 +1,113 @@
+"""Load-balanced chunk-to-neighbor assignment (§IV-B, Eq. 1).
+
+Assigning each requested chunk to one neighbor that can reach it, while
+minimising the maximum per-neighbor load, is a max-min Generalized
+Assignment Problem (NP-hard).  The paper uses a simple heuristic:
+
+1. assign every chunk to a neighbor offering it at the least hop count;
+2. repeatedly take the most-loaded neighbor and move one of its chunks to
+   another neighbor that can retrieve that chunk at the (possibly next)
+   smallest hop count, while this strictly decreases the maximum load;
+3. stop when the maximum load no longer decreases.
+
+Load is the hop-weighted sum ``Σ_j d_ij x_ij`` from Eq. 1.  Complexity is
+``O(|N| |C|^2)``, acceptable for the ~10 neighbors/chunks per query.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.net.topology import NodeId
+
+#: For each chunk: the (neighbor, hop_count) options offering it.
+ChunkOptions = Dict[int, Sequence[Tuple[NodeId, int]]]
+
+
+def _load(assignment: Dict[int, Tuple[NodeId, int]], neighbor: NodeId) -> int:
+    return sum(hop for (n, hop) in assignment.values() if n == neighbor)
+
+
+def assign_chunks(
+    options: ChunkOptions,
+    rng: Optional[random.Random] = None,
+) -> Dict[NodeId, Set[int]]:
+    """Assign each chunk to one neighbor, balancing hop-weighted load.
+
+    Args:
+        options: Per-chunk candidate ``(neighbor, hop_count)`` pairs.
+            Chunks with no options are skipped (unreachable right now).
+        rng: Tie-breaking source; deterministic order when omitted.
+
+    Returns:
+        Mapping neighbor → set of chunk ids to request from it.
+    """
+    # chunk -> (neighbor, hop) currently assigned
+    assignment: Dict[int, Tuple[NodeId, int]] = {}
+    per_neighbor_load: Dict[NodeId, int] = {}
+
+    # Step 1: least-hop initial assignment, breaking ties toward the
+    # currently least-loaded neighbor so the start point is already decent.
+    for chunk_id in sorted(options):
+        candidates = list(options[chunk_id])
+        if not candidates:
+            continue
+        best_hop = min(hop for _, hop in candidates)
+        least = [(n, hop) for n, hop in candidates if hop == best_hop]
+        least.sort(key=lambda pair: (per_neighbor_load.get(pair[0], 0), pair[0]))
+        if rng is not None and len(least) > 1:
+            lowest = least[0][0]
+            tied = [p for p in least if per_neighbor_load.get(p[0], 0) == per_neighbor_load.get(lowest, 0)]
+            choice = rng.choice(tied)
+        else:
+            choice = least[0]
+        assignment[chunk_id] = choice
+        per_neighbor_load[choice[0]] = per_neighbor_load.get(choice[0], 0) + choice[1]
+
+    if not assignment:
+        return {}
+
+    # Step 2: local moves while the maximum load strictly decreases.
+    for _ in range(len(assignment) * max(1, len(per_neighbor_load))):
+        max_neighbor = max(per_neighbor_load, key=lambda n: (per_neighbor_load[n], n))
+        max_load = per_neighbor_load[max_neighbor]
+        best_move: Optional[Tuple[int, NodeId, int]] = None
+        best_new_max = max_load
+        for chunk_id, (owner, owner_hop) in assignment.items():
+            if owner != max_neighbor:
+                continue
+            for neighbor, hop in options[chunk_id]:
+                if neighbor == max_neighbor:
+                    continue
+                new_owner_load = per_neighbor_load.get(neighbor, 0) + hop
+                new_max_load = max(max_load - owner_hop, new_owner_load)
+                if new_max_load < best_new_max:
+                    best_new_max = new_max_load
+                    best_move = (chunk_id, neighbor, hop)
+        if best_move is None:
+            break
+        chunk_id, neighbor, hop = best_move
+        owner, owner_hop = assignment[chunk_id]
+        per_neighbor_load[owner] -= owner_hop
+        if per_neighbor_load[owner] == 0:
+            del per_neighbor_load[owner]
+        per_neighbor_load[neighbor] = per_neighbor_load.get(neighbor, 0) + hop
+        assignment[chunk_id] = (neighbor, hop)
+
+    result: Dict[NodeId, Set[int]] = {}
+    for chunk_id, (neighbor, _) in assignment.items():
+        result.setdefault(neighbor, set()).add(chunk_id)
+    return result
+
+
+def max_load(
+    options: ChunkOptions, assignment: Dict[NodeId, Set[int]]
+) -> int:
+    """Hop-weighted maximum per-neighbor load of an assignment (Eq. 1)."""
+    loads: Dict[NodeId, int] = {}
+    for neighbor, chunk_ids in assignment.items():
+        for chunk_id in chunk_ids:
+            hop = dict((n, h) for n, h in options[chunk_id])[neighbor]
+            loads[neighbor] = loads.get(neighbor, 0) + hop
+    return max(loads.values()) if loads else 0

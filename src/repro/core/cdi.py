@@ -1,0 +1,128 @@
+"""Chunk Distribution Information: per-chunk distance-vector state (§IV-A).
+
+A CDI entry says "chunk ``chunk_id`` of item ``item`` can be retrieved via
+``neighbor`` at ``hop_count`` hops".  The table keeps, per chunk, only the
+entries at the current minimum hop count — multiple entries when several
+neighbors offer the same least distance.  Entries expire so obsolete
+routing state does not linger after copies move away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.data.descriptor import DataDescriptor
+from repro.net.topology import NodeId
+
+
+@dataclass
+class CdiEntry:
+    """One routing entry for a chunk."""
+
+    chunk_id: int
+    hop_count: int
+    neighbor: NodeId
+    expires_at: float
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+class CdiTable:
+    """Per-item, per-chunk best-distance neighbor sets."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        # item -> chunk_id -> list of best-hop entries
+        self._entries: Dict[DataDescriptor, Dict[int, List[CdiEntry]]] = {}
+
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        item: DataDescriptor,
+        chunk_id: int,
+        hop_count: int,
+        neighbor: NodeId,
+        ttl: float,
+    ) -> bool:
+        """Learn that ``chunk_id`` is reachable via ``neighbor``.
+
+        Implements §IV-A's replacement rule: a smaller distance replaces
+        existing entries; an equal distance adds the neighbor; a larger
+        distance is ignored (but refreshes an existing entry for the same
+        neighbor at the same distance).
+
+        Returns:
+            True if the table improved (new chunk, smaller hop, or new
+            equal-distance neighbor).
+        """
+        item = item.item_descriptor()
+        now = self._clock()
+        expires_at = now + ttl
+        chunk_map = self._entries.setdefault(item, {})
+        entries = [e for e in chunk_map.get(chunk_id, []) if not e.expired(now)]
+        if not entries:
+            chunk_map[chunk_id] = [CdiEntry(chunk_id, hop_count, neighbor, expires_at)]
+            return True
+        best = entries[0].hop_count
+        if hop_count < best:
+            chunk_map[chunk_id] = [CdiEntry(chunk_id, hop_count, neighbor, expires_at)]
+            return True
+        if hop_count == best:
+            for entry in entries:
+                if entry.neighbor == neighbor:
+                    entry.expires_at = max(entry.expires_at, expires_at)
+                    chunk_map[chunk_id] = entries
+                    return False
+            entries.append(CdiEntry(chunk_id, hop_count, neighbor, expires_at))
+            chunk_map[chunk_id] = entries
+            return True
+        chunk_map[chunk_id] = entries
+        return False
+
+    # ------------------------------------------------------------------
+    def best_entries(self, item: DataDescriptor, chunk_id: int) -> List[CdiEntry]:
+        """Unexpired least-hop entries for a chunk (possibly empty)."""
+        item = item.item_descriptor()
+        now = self._clock()
+        chunk_map = self._entries.get(item)
+        if not chunk_map:
+            return []
+        entries = [e for e in chunk_map.get(chunk_id, []) if not e.expired(now)]
+        if entries:
+            chunk_map[chunk_id] = entries
+        else:
+            chunk_map.pop(chunk_id, None)
+        return entries
+
+    def best_hop(self, item: DataDescriptor, chunk_id: int) -> Optional[int]:
+        """The least known hop count for a chunk, or None."""
+        entries = self.best_entries(item, chunk_id)
+        return entries[0].hop_count if entries else None
+
+    def known_chunks(self, item: DataDescriptor) -> Set[int]:
+        """Chunk ids with at least one live entry for this item."""
+        item = item.item_descriptor()
+        chunk_map = self._entries.get(item)
+        if not chunk_map:
+            return set()
+        return {
+            chunk_id
+            for chunk_id in list(chunk_map)
+            if self.best_entries(item, chunk_id)
+        }
+
+    def remove_neighbor(self, neighbor: NodeId) -> None:
+        """Drop all entries via a neighbor known to have left."""
+        for chunk_map in self._entries.values():
+            for chunk_id in list(chunk_map):
+                remaining = [e for e in chunk_map[chunk_id] if e.neighbor != neighbor]
+                if remaining:
+                    chunk_map[chunk_id] = remaining
+                else:
+                    del chunk_map[chunk_id]
+
+    def clear(self) -> None:
+        """Forget all routing state."""
+        self._entries.clear()

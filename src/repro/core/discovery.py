@@ -1,0 +1,350 @@
+"""Peer Data Discovery: Algorithms 1 and 2 of §III.
+
+The engine runs on *every* device (any node can respond and relay).  It
+implements:
+
+* **Algorithm 1** (query processing): LQT lookup → DS lookup → receiver
+  check → forwarding, with the §III-B-2 refinements — responses pruned by
+  the query's Bloom filter and the query rewritten en-route so downstream
+  nodes do not return entries this node just sent.
+* **Algorithm 2** (response processing): RR lookup → DS lookup
+  (opportunistic caching, even for overheard frames) → receiver check →
+  LQT lookup → mixedcast forwarding, where one relayed response carries the
+  union of entries still needed by matching downstream queries and each
+  matched query's Bloom filter is updated (en-route rewriting).
+
+Small-data retrieval (§IV intro: "collecting many small data items ...
+follows almost the same process as metadata discovery") reuses the same
+engine with ``want_payload=True``: DS lookup then matches stored chunks and
+responses carry the payloads.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.bloom.bloom_filter import NullFilter
+from repro.core.lqt import LingeringEntry, LingeringQueryTable, RecentResponses
+from repro.core.messages import (
+    DiscoveryQuery,
+    DiscoveryResponse,
+    next_message_id,
+)
+from repro.data.descriptor import DataDescriptor
+from repro.data.item import Chunk
+from repro.data.predicate import QuerySpec
+
+if TYPE_CHECKING:
+    from repro.node.device import Device
+
+
+class DiscoveryEngine:
+    """Per-device PDD responder/relay."""
+
+    def __init__(self, device: "Device") -> None:
+        self.device = device
+        self.lqt = LingeringQueryTable(clock=lambda: device.sim.now)
+        self.recent = RecentResponses()
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def issue_query(
+        self,
+        spec: QuerySpec,
+        bloom: object,
+        round_index: int = 0,
+        want_payload: bool = False,
+        ttl: Optional[float] = None,
+    ) -> DiscoveryQuery:
+        """Create, register and flood a new lingering query."""
+        device = self.device
+        if ttl is None:
+            ttl = device.config.protocol.query_ttl_s
+        expires_at = device.sim.now + ttl
+        query = DiscoveryQuery(
+            message_id=next_message_id(),
+            sender_id=device.node_id,
+            receiver_ids=None,
+            spec=spec,
+            origin_id=device.node_id,
+            expires_at=expires_at,
+            bloom=bloom,
+            round_index=round_index,
+            want_payload=want_payload,
+        )
+        self.lqt.insert(
+            LingeringEntry(
+                query=query,
+                upstream=device.node_id,
+                expires_at=expires_at,
+                is_origin=True,
+                bloom=bloom.copy(),
+            ),
+            query.message_id,
+        )
+        device.face.send(
+            query, query.wire_size(), receivers=None, kind="query", reliable=True
+        )
+        return query
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: query processing
+    # ------------------------------------------------------------------
+    def handle_query(self, query: DiscoveryQuery, addressed: bool) -> None:
+        """Algorithm 1: LQT lookup, DS lookup, receiver check, forwarding."""
+        device = self.device
+        now = device.sim.now
+        # {LQT Lookup} — drop redundant copies of the same query.
+        if self.lqt.exists(query.message_id):
+            return
+        entry = LingeringEntry(
+            query=query,
+            upstream=query.sender_id,
+            expires_at=query.expires_at,
+            bloom=query.bloom.copy(),
+        )
+        self.lqt.insert(entry, query.message_id)
+
+        # {DS Lookup} — reply matching content, pruned by the Bloom filter.
+        sent_keys = self._respond_from_store(query, entry)
+
+        # {Receiver Check} — overhearers respond but do not relay.
+        if not addressed or now >= query.expires_at:
+            return
+        if not device.may_forward_flood(query.hop_count):
+            return
+
+        # {Forwarding} — rewrite the query: new sender, Bloom filter updated
+        # with the entries just sent so downstream nodes skip them.
+        forwarded = query.rewritten(
+            sender_id=device.node_id,
+            receiver_ids=None,
+            bloom=entry.bloom.copy(),
+        )
+        device.face.send(
+            forwarded,
+            forwarded.wire_size(),
+            receivers=None,
+            kind="query",
+            reliable=True,
+        )
+
+    def _respond_from_store(
+        self, query: DiscoveryQuery, entry: LingeringEntry
+    ) -> int:
+        """Send response messages for matching local content; returns count."""
+        device = self.device
+        bloom = entry.bloom
+        if query.want_payload:
+            chunks = [
+                chunk
+                for chunk in device.store.match_chunks(query.spec)
+                if chunk.descriptor.stable_key() not in bloom
+            ]
+            if not chunks:
+                return 0
+            for chunk in chunks:
+                bloom.insert(chunk.descriptor.stable_key())
+            self._send_payload_responses(
+                chunks, frozenset({query.sender_id}), query.round_index
+            )
+            return len(chunks)
+        matches = [
+            descriptor
+            for descriptor in device.store.match_metadata(query.spec)
+            if descriptor.stable_key() not in bloom
+        ]
+        if not matches:
+            return 0
+        for descriptor in matches:
+            bloom.insert(descriptor.stable_key())
+        self._send_entry_responses(
+            matches, frozenset({query.sender_id}), query.round_index
+        )
+        return len(matches)
+
+    # ------------------------------------------------------------------
+    # Response packing
+    # ------------------------------------------------------------------
+    def _send_entry_responses(
+        self,
+        entries: List[DataDescriptor],
+        receivers: frozenset,
+        round_index: int,
+    ) -> None:
+        """Pack descriptors into frames of at most the configured size."""
+        device = self.device
+        limit = device.config.protocol.max_response_payload_bytes
+        batch: List[DataDescriptor] = []
+        batch_bytes = 0
+        for descriptor in entries:
+            size = descriptor.wire_size()
+            if batch and batch_bytes + size > limit:
+                self._emit_response(tuple(batch), (), receivers, round_index)
+                batch = []
+                batch_bytes = 0
+            batch.append(descriptor)
+            batch_bytes += size
+        if batch:
+            self._emit_response(tuple(batch), (), receivers, round_index)
+
+    def _send_payload_responses(
+        self,
+        chunks: List[Chunk],
+        receivers: frozenset,
+        round_index: int,
+    ) -> None:
+        """Small-data responses: one or more items per frame."""
+        device = self.device
+        limit = device.config.protocol.max_response_payload_bytes
+        batch: List[Chunk] = []
+        batch_bytes = 0
+        for chunk in chunks:
+            size = chunk.descriptor.wire_size() + chunk.size
+            if batch and batch_bytes + size > limit:
+                self._emit_response((), tuple(batch), receivers, round_index)
+                batch = []
+                batch_bytes = 0
+            batch.append(chunk)
+            batch_bytes += size
+        if batch:
+            self._emit_response((), tuple(batch), receivers, round_index)
+
+    def _emit_response(
+        self,
+        entries: Tuple[DataDescriptor, ...],
+        payloads: Tuple[Chunk, ...],
+        receivers: frozenset,
+        round_index: int,
+    ) -> None:
+        device = self.device
+        response = DiscoveryResponse(
+            message_id=next_message_id(),
+            sender_id=device.node_id,
+            receiver_ids=receivers,
+            entries=entries,
+            payloads=payloads,
+            round_index=round_index,
+        )
+        # Own responses are never re-processed when overheard back.
+        self.recent.seen_before(response.message_id)
+        device.face.send(
+            response,
+            response.wire_size(),
+            receivers=receivers,
+            kind="response",
+            reliable=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Publish hook (subscription extension)
+    # ------------------------------------------------------------------
+    def on_local_data(self, descriptor: DataDescriptor) -> None:
+        """Newly produced local data: answer matching lingering queries.
+
+        The §IV "growing data" scenario: lingering queries already sit on
+        every flood-tree node, so fresh data can be pushed back to the
+        consumers along the existing reverse paths.
+        """
+        device = self.device
+        key = descriptor.stable_key()
+        for entry in self.lqt.live_entries():
+            query = entry.query
+            if not isinstance(query, DiscoveryQuery) or query.want_payload:
+                continue
+            if not query.spec.matches(descriptor):
+                continue
+            if key in entry.bloom:
+                continue
+            entry.bloom.insert(key)
+            if entry.is_origin:
+                continue  # our own data; the local store already has it
+            self._send_entry_responses(
+                [descriptor], frozenset({entry.upstream}), query.round_index
+            )
+
+    def _wanted_by_origin(self, chunk: Chunk) -> bool:
+        """Whether one of this node's own small-data queries wants this."""
+        for entry in self.lqt.live_entries():
+            query = entry.query
+            if (
+                isinstance(query, DiscoveryQuery)
+                and entry.is_origin
+                and query.want_payload
+                and query.spec.matches(chunk.descriptor)
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: response processing
+    # ------------------------------------------------------------------
+    def handle_response(self, response: DiscoveryResponse, addressed: bool) -> None:
+        """Algorithm 2: RR lookup, caching, receiver check, mixedcast relay."""
+        device = self.device
+        # {RR Lookup} — drop copies already heard from other neighbors.
+        if self.recent.seen_before(response.message_id):
+            return
+
+        # {DS Lookup} — opportunistic caching, also for overheard frames.
+        for descriptor in response.entries:
+            device.cache_metadata(descriptor)
+        for chunk in response.payloads:
+            # Payloads this node's own session asked for are pinned so a
+            # bounded cache policy cannot evict data mid-collection.
+            device.cache_chunk(chunk, pin=self._wanted_by_origin(chunk))
+
+        # {Receiver Check} — only nodes on the reverse path continue.
+        if not addressed:
+            return
+
+        # {LQT Lookup} + {Forwarding} — mixedcast with en-route rewriting.
+        union_entries: Dict[DataDescriptor, None] = {}
+        union_payloads: Dict[DataDescriptor, Chunk] = {}
+        receivers = set()
+        for entry in self.lqt.live_entries():
+            query = entry.query
+            if not isinstance(query, DiscoveryQuery):
+                continue
+            wanted_entries = [
+                d
+                for d in response.entries
+                if query.spec.matches(d) and d.stable_key() not in entry.bloom
+            ]
+            wanted_payloads = [
+                c
+                for c in response.payloads
+                if query.spec.matches(c.descriptor)
+                and c.descriptor.stable_key() not in entry.bloom
+            ]
+            if not wanted_entries and not wanted_payloads:
+                continue
+            for d in wanted_entries:
+                entry.bloom.insert(d.stable_key())
+            for c in wanted_payloads:
+                entry.bloom.insert(c.descriptor.stable_key())
+            if entry.is_origin:
+                # Arrived home: delivery to the application happened via the
+                # cache listeners in the DS-lookup step.
+                continue
+            receivers.add(entry.upstream)
+            for d in wanted_entries:
+                union_entries[d] = None
+            for c in wanted_payloads:
+                union_payloads[c.descriptor] = c
+        if not receivers or (not union_entries and not union_payloads):
+            return
+        forwarded = response.rewritten(
+            sender_id=device.node_id,
+            receiver_ids=frozenset(receivers),
+            entries=tuple(union_entries),
+            payloads=tuple(union_payloads.values()),
+        )
+        device.face.send(
+            forwarded,
+            forwarded.wire_size(),
+            receivers=forwarded.receiver_ids,
+            kind="response",
+            reliable=True,
+        )

@@ -1,0 +1,110 @@
+"""The Lingering Query Table (§III-A).
+
+A lingering query stays in the table until its expiration and keeps
+directing the continuous stream of returning responses toward the consumer
+— the key difference from one-shot CCN/NDN Interests.
+
+Each entry records the *upstream* neighbor (the node that transmitted the
+query to us, i.e. the reverse-path next hop), plus per-query mutable state
+used by the redundancy machinery:
+
+* ``bloom`` — this node's working copy of the query's Bloom filter,
+  updated as entries are forwarded through (en-route rewriting, §III-B-2);
+* ``forwarded_keys`` — exact-set dedup for CDI/chunk relaying (which chunk
+  ids, at which best hop count, were already sent toward this consumer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional, Set
+
+from repro.net.topology import NodeId
+
+
+@dataclass
+class LingeringEntry:
+    """One lingering query plus its per-node relay state."""
+
+    query: object
+    upstream: NodeId
+    expires_at: float
+    is_origin: bool = False
+    bloom: Optional[object] = None
+    forwarded_keys: Set[object] = field(default_factory=set)
+    best_hop_sent: Dict[int, int] = field(default_factory=dict)
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+class LingeringQueryTable:
+    """Query-id keyed table with lazy expiration."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._entries: Dict[int, LingeringEntry] = {}
+
+    def __len__(self) -> int:
+        self._purge()
+        return len(self._entries)
+
+    def exists(self, query_id: int) -> bool:
+        """Whether a live entry for this query id is present."""
+        entry = self._entries.get(query_id)
+        if entry is None:
+            return False
+        if entry.expired(self._clock()):
+            del self._entries[query_id]
+            return False
+        return True
+
+    def insert(self, entry: LingeringEntry, query_id: int) -> None:
+        """Insert a new lingering query (replaces an expired duplicate)."""
+        self._entries[query_id] = entry
+
+    def get(self, query_id: int) -> Optional[LingeringEntry]:
+        """The live entry for this query id, or None."""
+        if not self.exists(query_id):
+            return None
+        return self._entries.get(query_id)
+
+    def remove(self, query_id: int) -> None:
+        """Explicitly drop an entry (e.g. a satisfied chunk query)."""
+        self._entries.pop(query_id, None)
+
+    def live_entries(self) -> Iterator[LingeringEntry]:
+        """Iterate all unexpired entries."""
+        self._purge()
+        return iter(list(self._entries.values()))
+
+    def _purge(self) -> None:
+        now = self._clock()
+        dead = [qid for qid, entry in self._entries.items() if entry.expired(now)]
+        for qid in dead:
+            del self._entries[qid]
+
+
+class RecentResponses:
+    """The received-response-id set of Algorithm 2's RR Lookup.
+
+    Bounded: oldest ids are evicted once the history limit is exceeded
+    (insertion-ordered dict doubles as an LRU-by-arrival structure).
+    """
+
+    def __init__(self, history_limit: int = 8192) -> None:
+        self.history_limit = history_limit
+        self._seen: Dict[int, None] = {}
+
+    def seen_before(self, response_id: int) -> bool:
+        """Record ``response_id``; True if it was already present."""
+        if response_id in self._seen:
+            return True
+        self._seen[response_id] = None
+        if len(self._seen) > self.history_limit:
+            for key in list(self._seen)[: self.history_limit // 2]:
+                del self._seen[key]
+        return False
+
+    def __contains__(self, response_id: int) -> bool:
+        return response_id in self._seen

@@ -1,0 +1,282 @@
+"""PDS protocol messages (§III-A, §IV-A, §IV-B).
+
+Messages are immutable; en-route rewriting (sender id update, receiver-list
+update, Bloom-filter insertion) always produces a *new* message object via
+the ``rewritten`` helpers, because on a broadcast medium the original object
+is still referenced by in-flight deliveries to other nodes.
+
+Every message computes its own serialized size for the overhead metric.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Optional, Tuple
+
+from repro.bloom.bloom_filter import BloomFilter, NullFilter
+from repro.data.descriptor import DataDescriptor
+from repro.data.item import Chunk
+from repro.data.predicate import QuerySpec
+from repro.net.topology import NodeId
+
+#: Fixed per-message header: message id (8) + type (1) + sender (4) +
+#: expiry (4) + receiver-count byte.
+MESSAGE_HEADER_BYTES = 18
+
+#: Bytes per entry in an explicit receiver-id list.
+RECEIVER_ID_BYTES = 4
+
+_message_ids = itertools.count(1)
+
+
+def next_message_id() -> int:
+    """Globally unique message id (queries and responses share the space)."""
+    return next(_message_ids)
+
+
+def _receivers_size(receivers: Optional[FrozenSet[NodeId]]) -> int:
+    return 0 if receivers is None else RECEIVER_ID_BYTES * len(receivers)
+
+
+@dataclass(frozen=True)
+class PdsMessage:
+    """Common fields of every PDS query/response."""
+
+    message_id: int
+    sender_id: NodeId
+    receiver_ids: Optional[FrozenSet[NodeId]]  # None = all neighbors
+
+    def base_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + _receivers_size(self.receiver_ids)
+
+
+# ----------------------------------------------------------------------
+# Discovery (PDD) — §III
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DiscoveryQuery(PdsMessage):
+    """A lingering metadata (or small-data) query.
+
+    Attributes:
+        spec: Predicates selecting the desired descriptors.
+        origin_id: The consumer that issued the query.
+        expires_at: Lingering-query expiration (absolute sim time).
+        bloom: Redundancy-detection filter over already-received entries.
+        round_index: Discovery round this query belongs to (also the Bloom
+            hash-family seed, §V-3).
+        want_payload: False → metadata discovery; True → small-data
+            retrieval, where responses carry item payloads (§IV intro).
+        hop_count: Hops travelled so far (for the optional flood-scope
+            limit of §III-A).
+    """
+
+    spec: QuerySpec = QuerySpec()
+    origin_id: NodeId = -1
+    expires_at: float = float("inf")
+    bloom: object = NullFilter()
+    round_index: int = 0
+    want_payload: bool = False
+    hop_count: int = 0
+
+    def wire_size(self) -> int:
+        bloom_size = self.bloom.wire_size() if hasattr(self.bloom, "wire_size") else 0
+        return self.base_size() + self.spec.wire_size() + bloom_size + 3
+
+    def rewritten(
+        self,
+        sender_id: NodeId,
+        receiver_ids: Optional[FrozenSet[NodeId]],
+        bloom: Optional[object] = None,
+    ) -> "DiscoveryQuery":
+        """The per-hop rewritten copy (Algorithm 1 Forwarding + §III-B-2)."""
+        return replace(
+            self,
+            sender_id=sender_id,
+            receiver_ids=receiver_ids,
+            bloom=self.bloom if bloom is None else bloom,
+            hop_count=self.hop_count + 1,
+        )
+
+
+@dataclass(frozen=True)
+class DiscoveryResponse(PdsMessage):
+    """Metadata entries (or small data items) flowing back to consumers.
+
+    ``entries`` carries descriptors for metadata discovery; ``payloads``
+    carries small data items (as single chunks) when responding to a
+    ``want_payload`` query.
+    """
+
+    entries: Tuple[DataDescriptor, ...] = ()
+    payloads: Tuple[Chunk, ...] = ()
+    round_index: int = 0
+
+    def wire_size(self) -> int:
+        entries_size = sum(e.wire_size() for e in self.entries)
+        payload_size = sum(
+            c.descriptor.wire_size() + c.size for c in self.payloads
+        )
+        return self.base_size() + entries_size + payload_size
+
+    def rewritten(
+        self,
+        sender_id: NodeId,
+        receiver_ids: FrozenSet[NodeId],
+        entries: Tuple[DataDescriptor, ...],
+        payloads: Tuple[Chunk, ...] = (),
+    ) -> "DiscoveryResponse":
+        """Per-hop rewritten copy with a pruned payload (mixedcast).
+
+        The message id is preserved: Algorithm 2's RR Lookup dedups copies
+        of the *same* response heard from different neighbors.
+        """
+        return replace(
+            self,
+            sender_id=sender_id,
+            receiver_ids=receiver_ids,
+            entries=entries,
+            payloads=payloads,
+        )
+
+
+# ----------------------------------------------------------------------
+# Retrieval phase 1: CDI — §IV-A
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CdiQuery(PdsMessage):
+    """Requests chunk-distribution information for one data item."""
+
+    item: DataDescriptor = None  # type: ignore[assignment]
+    origin_id: NodeId = -1
+    expires_at: float = float("inf")
+    hop_count: int = 0
+
+    def wire_size(self) -> int:
+        return self.base_size() + self.item.wire_size() + 1
+
+    def rewritten(
+        self,
+        sender_id: NodeId,
+        receiver_ids: Optional[FrozenSet[NodeId]],
+    ) -> "CdiQuery":
+        return replace(
+            self,
+            sender_id=sender_id,
+            receiver_ids=receiver_ids,
+            hop_count=self.hop_count + 1,
+        )
+
+
+@dataclass(frozen=True)
+class CdiResponse(PdsMessage):
+    """ChunkId–HopCount pairs relative to the transmitting node (§IV-A)."""
+
+    item: DataDescriptor = None  # type: ignore[assignment]
+    pairs: Tuple[Tuple[int, int], ...] = ()  # (chunk_id, hop_count)
+
+    def wire_size(self) -> int:
+        return self.base_size() + self.item.wire_size() + 4 * len(self.pairs)
+
+    def rewritten(
+        self,
+        sender_id: NodeId,
+        receiver_ids: FrozenSet[NodeId],
+        pairs: Tuple[Tuple[int, int], ...],
+    ) -> "CdiResponse":
+        """Per-hop rewrite; the response id is preserved for RR dedup."""
+        return replace(
+            self,
+            sender_id=sender_id,
+            receiver_ids=receiver_ids,
+            pairs=pairs,
+        )
+
+
+# ----------------------------------------------------------------------
+# Retrieval phase 2: chunks — §IV-B
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChunkQuery(PdsMessage):
+    """Requests a subset of chunks, directed at one nearest neighbor."""
+
+    item: DataDescriptor = None  # type: ignore[assignment]
+    chunk_ids: FrozenSet[int] = frozenset()
+    origin_id: NodeId = -1
+    expires_at: float = float("inf")
+
+    def wire_size(self) -> int:
+        return self.base_size() + self.item.wire_size() + 2 * len(self.chunk_ids)
+
+    def divided(
+        self,
+        sender_id: NodeId,
+        receiver: NodeId,
+        chunk_ids: FrozenSet[int],
+    ) -> "ChunkQuery":
+        """A sub-query for the recursive division of §IV-B."""
+        return replace(
+            self,
+            message_id=next_message_id(),
+            sender_id=sender_id,
+            receiver_ids=frozenset({receiver}),
+            chunk_ids=chunk_ids,
+        )
+
+
+@dataclass(frozen=True)
+class ChunkResponse(PdsMessage):
+    """One data chunk travelling back toward consumers."""
+
+    chunk: Chunk = None  # type: ignore[assignment]
+
+    def wire_size(self) -> int:
+        return self.base_size() + self.chunk.descriptor.wire_size() + self.chunk.size
+
+    def rewritten(
+        self, sender_id: NodeId, receiver_ids: FrozenSet[NodeId]
+    ) -> "ChunkResponse":
+        """Per-hop rewrite; the response id is preserved for RR dedup."""
+        return replace(self, sender_id=sender_id, receiver_ids=receiver_ids)
+
+
+# ----------------------------------------------------------------------
+# Baseline: multi-round data retrieval (MDR) — §VI-B-3
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MdrQuery(PdsMessage):
+    """MDR round query: flood, requesting all chunks not yet received.
+
+    ``have_chunk_ids`` is the explicit received-set (a bitmap on the wire;
+    ``total_chunks`` bits), the baseline's redundancy-detection state.
+    """
+
+    item: DataDescriptor = None  # type: ignore[assignment]
+    total_chunks: int = 0
+    have_chunk_ids: FrozenSet[int] = frozenset()
+    origin_id: NodeId = -1
+    expires_at: float = float("inf")
+    round_index: int = 0
+    hop_count: int = 0
+
+    def wire_size(self) -> int:
+        bitmap = (self.total_chunks + 7) // 8
+        return self.base_size() + self.item.wire_size() + bitmap + 3
+
+    def rewritten(
+        self,
+        sender_id: NodeId,
+        receiver_ids: Optional[FrozenSet[NodeId]],
+        have_chunk_ids: FrozenSet[int],
+    ) -> "MdrQuery":
+        return replace(
+            self,
+            sender_id=sender_id,
+            receiver_ids=receiver_ids,
+            have_chunk_ids=have_chunk_ids,
+            hop_count=self.hop_count + 1,
+        )
+
+
+#: MDR reuses ChunkResponse for returning chunks.
+MdrResponse = ChunkResponse

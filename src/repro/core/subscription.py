@@ -1,0 +1,117 @@
+"""Subscriptions: standing discovery for data that keeps appearing.
+
+§IV defers "subscribing to a data item that keeps growing (e.g., live
+video streams)" to future work.  Lingering queries make the discovery half
+of that natural: a query lingers at every node on the flood tree, so when
+a producer *creates* new matching data it can immediately push a response
+along the existing reverse paths — no new query needed.
+
+Two pieces:
+
+* a **publish hook** in the discovery engine
+  (:meth:`repro.core.discovery.DiscoveryEngine.on_local_data`): when local
+  data appears, answer every matching lingering query as if it had just
+  arrived (Bloom-checked, so each consumer gets each entry once);
+* :class:`SubscriptionSession` — a consumer that floods one long-lived
+  query, renews it before expiry, and streams newly discovered entries to
+  a callback.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Set
+
+from repro.bloom.bloom_filter import make_round_filter
+from repro.data.descriptor import DataDescriptor
+from repro.data.predicate import QuerySpec
+from repro.errors import ConfigurationError
+from repro.sim.process import PeriodicTask
+
+if TYPE_CHECKING:
+    from repro.node.device import Device
+
+
+class SubscriptionSession:
+    """A standing subscription to all data matching a spec.
+
+    Args:
+        device: The subscribing consumer's device.
+        spec: What to subscribe to.
+        on_entry: Callback invoked for every newly discovered descriptor.
+        lease_s: Lifetime of each issued query; the session renews at
+            2/3 of the lease so relays' lingering queries never lapse.
+    """
+
+    def __init__(
+        self,
+        device: "Device",
+        spec: Optional[QuerySpec] = None,
+        on_entry: Optional[Callable[[DataDescriptor], None]] = None,
+        lease_s: float = 60.0,
+    ) -> None:
+        if lease_s <= 0:
+            raise ConfigurationError("lease_s must be positive")
+        self.device = device
+        self.spec = spec if spec is not None else QuerySpec()
+        self.on_entry = on_entry
+        self.lease_s = lease_s
+        self.received: Set[DataDescriptor] = set()
+        self.renewals = 0
+        self.active = False
+        self._renew_task = PeriodicTask(
+            device.sim, lease_s * 2.0 / 3.0, self._renew
+        )
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Issue the initial standing query and begin renewing it."""
+        if self.active:
+            raise ConfigurationError("subscription already active")
+        self.active = True
+        device = self.device
+        device.metadata_listeners.append(self._on_metadata)
+        for descriptor in device.store.match_metadata(self.spec):
+            self._deliver(descriptor)
+        self._issue()
+        self._renew_task.start()
+
+    def stop(self) -> None:
+        """End the subscription (lingering state decays via expiry)."""
+        if not self.active:
+            return
+        self.active = False
+        self._renew_task.stop()
+        if self._on_metadata in self.device.metadata_listeners:
+            self.device.metadata_listeners.remove(self._on_metadata)
+
+    # ------------------------------------------------------------------
+    def _issue(self) -> None:
+        self._round += 1
+        bloom = make_round_filter(
+            (d.stable_key() for d in self.received),
+            round_index=self._round,
+            false_positive_rate=self.device.config.protocol.bloom_false_positive_rate,
+            max_bits=self.device.config.protocol.bloom_max_bits,
+        )
+        self.device.discovery.issue_query(
+            self.spec, bloom, round_index=self._round, ttl=self.lease_s
+        )
+
+    def _renew(self) -> None:
+        if not self.active:
+            return
+        self.renewals += 1
+        self._issue()
+
+    def _on_metadata(self, descriptor: DataDescriptor) -> None:
+        if not self.active or not self.spec.matches(descriptor):
+            return
+        self._deliver(descriptor)
+
+    def _deliver(self, descriptor: DataDescriptor) -> None:
+        if descriptor in self.received:
+            return
+        self.received.add(descriptor)
+        if self.on_entry is not None:
+            self.on_entry(descriptor)

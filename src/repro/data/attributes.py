@@ -1,0 +1,75 @@
+"""Attribute values used by data descriptors.
+
+The paper (§II-B) defines a descriptor as a set of named attributes of
+primitive types (string, integer, float, Unix time).  We model Unix times as
+floats; the :func:`wire_size` helper gives the byte cost of an attribute as
+carried in messages, used by the overhead accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import DataModelError
+
+#: The primitive value types an attribute may take.
+AttributeValue = Union[str, int, float, bool]
+
+#: Well-known attribute names used throughout the system (§II-B, §III, §IV).
+NAMESPACE = "namespace"
+DATA_TYPE = "data_type"
+TIME = "time"
+LOCATION_X = "location_x"
+LOCATION_Y = "location_y"
+TOTAL_CHUNKS = "total_chunks"
+CHUNK_ID = "chunk_id"
+NAME = "name"
+
+#: Reserved namespace for protocol-internal data types (§III-A, §IV-A).
+SYSTEM_NAMESPACE = "system"
+METADATA_TYPE = "metadata"
+CDI_TYPE = "cdi"
+
+_NUMERIC_TYPES = (int, float)
+
+
+def validate_value(value: object) -> AttributeValue:
+    """Check that ``value`` is a supported primitive and return it.
+
+    Raises:
+        DataModelError: for unsupported types (lists, dicts, None, ...).
+    """
+    if isinstance(value, bool) or isinstance(value, (str, int, float)):
+        return value
+    raise DataModelError(
+        f"attribute values must be str/int/float/bool, got {type(value).__name__}"
+    )
+
+
+def values_comparable(left: AttributeValue, right: AttributeValue) -> bool:
+    """Whether two attribute values can be ordered against each other.
+
+    Strings compare with strings; booleans and numbers compare with each
+    other (Python semantics), never with strings.
+    """
+    left_is_str = isinstance(left, str)
+    right_is_str = isinstance(right, str)
+    return left_is_str == right_is_str
+
+
+def wire_size(name: str, value: AttributeValue) -> int:
+    """Approximate on-the-wire size in bytes of one attribute.
+
+    A compact schema-dictionary encoding: attribute names are carried as
+    2-byte ids (devices share the attribute dictionary of a namespace),
+    numerics as 4-byte fixed values, strings as UTF-8 plus a length byte.
+    With this coding a typical sample entry (namespace, data type, time,
+    location) costs ≈30 bytes, matching the paper's metadata entry size
+    (§VI-A).
+    """
+    name_cost = 2
+    if isinstance(value, bool):
+        return name_cost + 1
+    if isinstance(value, _NUMERIC_TYPES):
+        return name_cost + 4
+    return name_cost + len(value.encode("utf-8")) + 1

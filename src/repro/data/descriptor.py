@@ -1,0 +1,133 @@
+"""Data descriptors (metadata entries).
+
+A :class:`DataDescriptor` is the self-describing identity of a data item or
+chunk (§II-B).  Descriptors are immutable and hashable so they can be used
+as data-store keys and inserted into Bloom filters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Tuple
+
+from repro.data import attributes as attr
+from repro.data.attributes import AttributeValue, validate_value, wire_size
+from repro.errors import DataModelError
+
+
+class DataDescriptor:
+    """An immutable set of named attributes identifying a datum.
+
+    Two descriptors are equal iff they carry the same attribute mapping.
+    """
+
+    __slots__ = ("_attrs", "_hash", "_key_cache")
+
+    def __init__(self, attrs: Mapping[str, AttributeValue]) -> None:
+        self._key_cache: Optional[bytes] = None
+        if not attrs:
+            raise DataModelError("a descriptor needs at least one attribute")
+        validated = {}
+        for name, value in attrs.items():
+            if not isinstance(name, str) or not name:
+                raise DataModelError(f"attribute names must be non-empty str, got {name!r}")
+            validated[name] = validate_value(value)
+        self._attrs: Tuple[Tuple[str, AttributeValue], ...] = tuple(
+            sorted(validated.items())
+        )
+        self._hash = hash(self._attrs)
+
+    # -- mapping-ish interface -----------------------------------------
+    def get(self, name: str, default: Optional[AttributeValue] = None):
+        """Return the value of attribute ``name`` or ``default``."""
+        for key, value in self._attrs:
+            if key == name:
+                return value
+        return default
+
+    def __contains__(self, name: str) -> bool:
+        return any(key == name for key, _ in self._attrs)
+
+    def items(self) -> Iterable[Tuple[str, AttributeValue]]:
+        """Iterate ``(name, value)`` pairs in sorted name order."""
+        return iter(self._attrs)
+
+    def names(self) -> Tuple[str, ...]:
+        """All attribute names in sorted order."""
+        return tuple(key for key, _ in self._attrs)
+
+    def as_dict(self) -> dict:
+        """A mutable copy of the attribute mapping."""
+        return dict(self._attrs)
+
+    # -- identity -------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataDescriptor):
+            return NotImplemented
+        return self._attrs == other._attrs
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{key}={value!r}" for key, value in self._attrs)
+        return f"DataDescriptor({inner})"
+
+    # -- derivation ------------------------------------------------------
+    def with_attributes(self, **extra: AttributeValue) -> "DataDescriptor":
+        """A new descriptor with ``extra`` attributes added/overridden."""
+        merged = self.as_dict()
+        merged.update(extra)
+        return DataDescriptor(merged)
+
+    def without_attributes(self, *names: str) -> "DataDescriptor":
+        """A new descriptor with the given attributes removed."""
+        remaining = {k: v for k, v in self._attrs if k not in names}
+        return DataDescriptor(remaining)
+
+    def chunk_descriptor(self, chunk_id: int) -> "DataDescriptor":
+        """The descriptor of chunk ``chunk_id`` of this item (§II-B)."""
+        return self.with_attributes(**{attr.CHUNK_ID: chunk_id})
+
+    def item_descriptor(self) -> "DataDescriptor":
+        """Strip a chunk-id, recovering the parent item's descriptor."""
+        if attr.CHUNK_ID not in self:
+            return self
+        return self.without_attributes(attr.CHUNK_ID)
+
+    @property
+    def is_chunk(self) -> bool:
+        """Whether this descriptor names a chunk of a larger item."""
+        return attr.CHUNK_ID in self
+
+    @property
+    def chunk_id(self) -> Optional[int]:
+        """The chunk id, or None for whole-item descriptors."""
+        value = self.get(attr.CHUNK_ID)
+        return int(value) if value is not None else None
+
+    # -- accounting -------------------------------------------------------
+    def wire_size(self) -> int:
+        """Approximate serialized size of this descriptor in bytes."""
+        return sum(wire_size(name, value) for name, value in self._attrs)
+
+    def stable_key(self) -> bytes:
+        """A canonical byte string for hashing into Bloom filters (cached)."""
+        if self._key_cache is None:
+            parts = []
+            for name, value in self._attrs:
+                parts.append(name)
+                parts.append(type(value).__name__)
+                parts.append(repr(value))
+            self._key_cache = "\x1f".join(parts).encode("utf-8")
+        return self._key_cache
+
+
+def make_descriptor(
+    namespace: str,
+    data_type: str,
+    **extra: AttributeValue,
+) -> DataDescriptor:
+    """Convenience constructor used by examples and workload generators."""
+    base = {attr.NAMESPACE: namespace, attr.DATA_TYPE: data_type}
+    base.update(extra)
+    return DataDescriptor(base)

@@ -1,0 +1,126 @@
+"""Data items and chunking (§II-A, §II-B).
+
+A :class:`DataItem` is either a small self-contained datum (e.g. one
+pollution sample) or a large object (e.g. a video clip) divided into
+fixed-size :class:`Chunk` objects.  Payload bytes are not materialised —
+only sizes matter to the simulation — but payload identity is tracked via
+the descriptor so correctness (recall) can be measured.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.data import attributes as attr
+from repro.data.descriptor import DataDescriptor
+from repro.errors import DataModelError
+
+#: The chunk size used throughout the paper's evaluation (§VI-A).
+DEFAULT_CHUNK_SIZE = 256 * 1024
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One chunk of a data item.
+
+    Attributes:
+        descriptor: The chunk descriptor (item descriptor + chunk_id).
+        size: Payload size in bytes.
+    """
+
+    descriptor: DataDescriptor
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise DataModelError(f"chunk size must be >= 0, got {self.size}")
+        if not self.descriptor.is_chunk:
+            raise DataModelError("chunk descriptor must carry a chunk_id attribute")
+
+    @property
+    def chunk_id(self) -> int:
+        chunk_id = self.descriptor.chunk_id
+        assert chunk_id is not None
+        return chunk_id
+
+    @property
+    def item_descriptor(self) -> DataDescriptor:
+        """Descriptor of the parent item."""
+        return self.descriptor.item_descriptor()
+
+
+class DataItem:
+    """A data item plus its division into chunks.
+
+    Small items are represented as a single chunk whose size equals the item
+    size; the descriptor then carries ``total_chunks = 1``.
+    """
+
+    def __init__(
+        self,
+        descriptor: DataDescriptor,
+        size: int,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if size <= 0:
+            raise DataModelError(f"item size must be positive, got {size}")
+        if chunk_size <= 0:
+            raise DataModelError(f"chunk size must be positive, got {chunk_size}")
+        total_chunks = max(1, math.ceil(size / chunk_size))
+        # The externally visible descriptor advertises the chunk count so a
+        # consumer learns how many chunks to retrieve from metadata alone.
+        self.descriptor = descriptor.with_attributes(**{attr.TOTAL_CHUNKS: total_chunks})
+        self.size = size
+        self.chunk_size = chunk_size
+        self.total_chunks = total_chunks
+
+    def chunks(self) -> List[Chunk]:
+        """All chunks of this item, in chunk-id order."""
+        result = []
+        remaining = self.size
+        for chunk_id in range(self.total_chunks):
+            size = min(self.chunk_size, remaining)
+            remaining -= size
+            result.append(Chunk(self.descriptor.chunk_descriptor(chunk_id), size))
+        return result
+
+    def chunk(self, chunk_id: int) -> Chunk:
+        """The single chunk with the given id."""
+        if not 0 <= chunk_id < self.total_chunks:
+            raise DataModelError(
+                f"chunk_id {chunk_id} out of range [0, {self.total_chunks})"
+            )
+        last = self.total_chunks - 1
+        if chunk_id == last:
+            size = self.size - self.chunk_size * last
+        else:
+            size = self.chunk_size
+        return Chunk(self.descriptor.chunk_descriptor(chunk_id), size)
+
+    def __repr__(self) -> str:
+        return (
+            f"DataItem({self.descriptor!r}, size={self.size}, "
+            f"chunks={self.total_chunks})"
+        )
+
+
+def make_item(
+    namespace: str,
+    data_type: str,
+    name: str,
+    size: int,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    **extra,
+) -> DataItem:
+    """Convenience constructor for a named data item."""
+    descriptor = DataDescriptor(
+        {
+            attr.NAMESPACE: namespace,
+            attr.DATA_TYPE: data_type,
+            attr.NAME: name,
+            **extra,
+        }
+    )
+    return DataItem(descriptor, size, chunk_size)

@@ -1,0 +1,253 @@
+"""Predicates: the selection language of PDS queries (§II-C).
+
+A query carries a collection of predicates, each constraining one attribute
+with a relation (=, !=, <, <=, >, >=, IN, BETWEEN, PREFIX) against a value or
+value range.  A descriptor matches a query specification iff it satisfies
+*all* predicates (conjunction).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.data.attributes import AttributeValue, validate_value, values_comparable, wire_size
+from repro.data.descriptor import DataDescriptor
+from repro.errors import DataModelError
+
+
+class Relation(enum.Enum):
+    """Supported predicate relations."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    IN = "in"
+    BETWEEN = "between"
+    PREFIX = "prefix"
+    EXISTS = "exists"
+
+
+_ORDERED = {Relation.LT, Relation.LE, Relation.GT, Relation.GE, Relation.BETWEEN}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single constraint on one attribute.
+
+    Attributes:
+        attribute: Name of the attribute the predicate constrains.
+        relation: The comparison relation.
+        operand: The value (EQ/NE/LT/...), tuple of values (IN), pair
+            (BETWEEN, inclusive on both ends), string prefix (PREFIX) or
+            None (EXISTS).
+    """
+
+    attribute: str
+    relation: Relation
+    operand: object = None
+
+    def __post_init__(self) -> None:
+        if not self.attribute:
+            raise DataModelError("predicate attribute name must be non-empty")
+        rel = self.relation
+        if rel is Relation.EXISTS:
+            if self.operand is not None:
+                raise DataModelError("EXISTS takes no operand")
+        elif rel is Relation.IN:
+            if not isinstance(self.operand, (tuple, frozenset)):
+                object.__setattr__(self, "operand", tuple(self.operand))  # type: ignore[arg-type]
+            if not self.operand:
+                raise DataModelError("IN requires a non-empty collection")
+            for value in self.operand:  # type: ignore[union-attr]
+                validate_value(value)
+        elif rel is Relation.BETWEEN:
+            if not isinstance(self.operand, tuple) or len(self.operand) != 2:
+                raise DataModelError("BETWEEN requires a (low, high) pair")
+            low, high = self.operand
+            validate_value(low)
+            validate_value(high)
+            if not values_comparable(low, high):
+                raise DataModelError("BETWEEN bounds must be mutually comparable")
+            if low > high:  # type: ignore[operator]
+                raise DataModelError(f"BETWEEN bounds out of order: {low!r} > {high!r}")
+        elif rel is Relation.PREFIX:
+            if not isinstance(self.operand, str):
+                raise DataModelError("PREFIX requires a string operand")
+        else:
+            validate_value(self.operand)
+
+    # ------------------------------------------------------------------
+    def matches(self, descriptor: DataDescriptor) -> bool:
+        """Whether ``descriptor`` satisfies this predicate.
+
+        A missing attribute never matches (except trivially for EXISTS,
+        which requires presence and therefore also fails).
+        """
+        value = descriptor.get(self.attribute)
+        if value is None and self.attribute not in descriptor:
+            return False
+        rel = self.relation
+        if rel is Relation.EXISTS:
+            return True
+        if rel is Relation.EQ:
+            return self._safe_eq(value, self.operand)
+        if rel is Relation.NE:
+            return not self._safe_eq(value, self.operand)
+        if rel is Relation.IN:
+            return any(self._safe_eq(value, candidate) for candidate in self.operand)  # type: ignore[union-attr]
+        if rel is Relation.PREFIX:
+            return isinstance(value, str) and value.startswith(self.operand)  # type: ignore[arg-type]
+        # Ordered relations: incomparable types never match.
+        if not values_comparable(value, self.operand if rel is not Relation.BETWEEN else self.operand[0]):  # type: ignore[index]
+            return False
+        if rel is Relation.LT:
+            return value < self.operand  # type: ignore[operator]
+        if rel is Relation.LE:
+            return value <= self.operand  # type: ignore[operator]
+        if rel is Relation.GT:
+            return value > self.operand  # type: ignore[operator]
+        if rel is Relation.GE:
+            return value >= self.operand  # type: ignore[operator]
+        if rel is Relation.BETWEEN:
+            low, high = self.operand  # type: ignore[misc]
+            return low <= value <= high  # type: ignore[operator]
+        raise DataModelError(f"unknown relation {rel!r}")
+
+    @staticmethod
+    def _safe_eq(left: object, right: object) -> bool:
+        if isinstance(left, str) != isinstance(right, str):
+            return False
+        return left == right
+
+    # ------------------------------------------------------------------
+    def wire_size(self) -> int:
+        """Approximate serialized size of this predicate in bytes."""
+        base = len(self.attribute.encode("utf-8")) + 2  # name + relation byte + len
+        rel = self.relation
+        if rel is Relation.EXISTS:
+            return base
+        if rel is Relation.IN:
+            return base + sum(wire_size("", v) for v in self.operand)  # type: ignore[union-attr]
+        if rel is Relation.BETWEEN:
+            low, high = self.operand  # type: ignore[misc]
+            return base + wire_size("", low) + wire_size("", high)
+        return base + wire_size("", self.operand)  # type: ignore[arg-type]
+
+
+class QuerySpec:
+    """A conjunction of predicates — what a consumer asks for (§II-C).
+
+    An empty spec matches everything (used by "give me all metadata"
+    discovery queries).
+    """
+
+    __slots__ = ("_predicates",)
+
+    def __init__(self, predicates: Iterable[Predicate] = ()) -> None:
+        self._predicates: Tuple[Predicate, ...] = tuple(predicates)
+
+    @property
+    def predicates(self) -> Tuple[Predicate, ...]:
+        return self._predicates
+
+    def matches(self, descriptor: DataDescriptor) -> bool:
+        """Whether ``descriptor`` satisfies all predicates."""
+        return all(p.matches(descriptor) for p in self._predicates)
+
+    def __len__(self) -> int:
+        return len(self._predicates)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuerySpec):
+            return NotImplemented
+        return self._predicates == other._predicates
+
+    def __hash__(self) -> int:
+        return hash(self._predicates)
+
+    def __repr__(self) -> str:
+        return f"QuerySpec({list(self._predicates)!r})"
+
+    def wire_size(self) -> int:
+        """Approximate serialized size of the predicate list in bytes."""
+        return sum(p.wire_size() for p in self._predicates) + 1
+
+    def and_also(self, *extra: Predicate) -> "QuerySpec":
+        """A new spec with additional predicates appended."""
+        return QuerySpec(self._predicates + tuple(extra))
+
+
+# ----------------------------------------------------------------------
+# Convenience predicate constructors (examples and tests read better).
+# ----------------------------------------------------------------------
+def eq(attribute: str, value: AttributeValue) -> Predicate:
+    """``attribute == value``"""
+    return Predicate(attribute, Relation.EQ, value)
+
+
+def ne(attribute: str, value: AttributeValue) -> Predicate:
+    """``attribute != value``"""
+    return Predicate(attribute, Relation.NE, value)
+
+
+def lt(attribute: str, value: AttributeValue) -> Predicate:
+    """``attribute < value``"""
+    return Predicate(attribute, Relation.LT, value)
+
+
+def le(attribute: str, value: AttributeValue) -> Predicate:
+    """``attribute <= value``"""
+    return Predicate(attribute, Relation.LE, value)
+
+
+def gt(attribute: str, value: AttributeValue) -> Predicate:
+    """``attribute > value``"""
+    return Predicate(attribute, Relation.GT, value)
+
+
+def ge(attribute: str, value: AttributeValue) -> Predicate:
+    """``attribute >= value``"""
+    return Predicate(attribute, Relation.GE, value)
+
+
+def is_in(attribute: str, values: Sequence[AttributeValue]) -> Predicate:
+    """``attribute in values``"""
+    return Predicate(attribute, Relation.IN, tuple(values))
+
+
+def between(attribute: str, low: AttributeValue, high: AttributeValue) -> Predicate:
+    """``low <= attribute <= high``"""
+    return Predicate(attribute, Relation.BETWEEN, (low, high))
+
+
+def prefix(attribute: str, value: str) -> Predicate:
+    """``attribute.startswith(value)``"""
+    return Predicate(attribute, Relation.PREFIX, value)
+
+
+def exists(attribute: str) -> Predicate:
+    """``attribute`` is present."""
+    return Predicate(attribute, Relation.EXISTS)
+
+
+def within_radius(
+    x_attr: str,
+    y_attr: str,
+    center: Tuple[float, float],
+    radius: float,
+) -> Tuple[Predicate, Predicate]:
+    """Bounding-box approximation of a circular spatial filter.
+
+    PDS predicates are per-attribute, so a radius query is expressed as the
+    enclosing box — the standard over-approximation for attribute filters.
+    """
+    cx, cy = center
+    return (
+        between(x_attr, cx - radius, cx + radius),
+        between(y_attr, cy - radius, cy + radius),
+    )

@@ -1,0 +1,183 @@
+"""The per-device Data Store (DS) of §II-C and Algorithms 1–2.
+
+The store holds:
+
+* **metadata entries** — descriptors indicating potential data availability.
+  Entries cached *without* the corresponding payload carry an expiration
+  time; upon expiry the entry is dropped unless the payload arrived in the
+  meantime (§II-C).
+* **chunk payloads** — actual data chunks held (produced or cached).
+
+Expiration is lazy: expired entries are purged whenever the store is read,
+driven by a caller-supplied clock function so the store stays decoupled from
+the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.data.descriptor import DataDescriptor
+from repro.data.item import Chunk
+from repro.data.predicate import QuerySpec
+
+
+@dataclass
+class MetadataRecord:
+    """Book-keeping for one cached metadata entry."""
+
+    descriptor: DataDescriptor
+    has_payload: bool
+    expires_at: Optional[float]
+
+    def expired(self, now: float) -> bool:
+        return (
+            not self.has_payload
+            and self.expires_at is not None
+            and now >= self.expires_at
+        )
+
+
+class DataStore:
+    """Metadata + chunk storage with payload-linked expiration.
+
+    Args:
+        clock: Zero-argument callable returning the current time; usually
+            ``lambda: sim.now``.
+        metadata_ttl: Lifetime of a metadata entry cached without payload.
+            ``None`` disables expiration.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        metadata_ttl: Optional[float] = None,
+    ) -> None:
+        self._clock = clock
+        self.metadata_ttl = metadata_ttl
+        self._metadata: Dict[DataDescriptor, MetadataRecord] = {}
+        self._chunks: Dict[DataDescriptor, Chunk] = {}
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    def insert_metadata(
+        self,
+        descriptor: DataDescriptor,
+        has_payload: bool = False,
+    ) -> bool:
+        """Insert or refresh a metadata entry.
+
+        Returns:
+            True if the entry was new (not previously present and live).
+        """
+        now = self._clock()
+        record = self._metadata.get(descriptor)
+        is_new = record is None or record.expired(now)
+        expires_at = None
+        if not has_payload and self.metadata_ttl is not None:
+            expires_at = now + self.metadata_ttl
+        if record is not None and not record.expired(now):
+            # Upgrade: once payload is present, the entry no longer expires.
+            record.has_payload = record.has_payload or has_payload
+            if record.has_payload:
+                record.expires_at = None
+            else:
+                record.expires_at = expires_at
+        else:
+            self._metadata[descriptor] = MetadataRecord(
+                descriptor, has_payload, expires_at
+            )
+        return is_new
+
+    def has_metadata(self, descriptor: DataDescriptor) -> bool:
+        """Whether a live metadata entry for ``descriptor`` exists."""
+        record = self._metadata.get(descriptor)
+        if record is None:
+            return False
+        if record.expired(self._clock()):
+            del self._metadata[descriptor]
+            return False
+        return True
+
+    def match_metadata(self, spec: QuerySpec) -> List[DataDescriptor]:
+        """All live metadata descriptors satisfying ``spec``."""
+        self._purge_expired()
+        return [d for d in self._metadata if spec.matches(d)]
+
+    def all_metadata(self) -> List[DataDescriptor]:
+        """All live metadata descriptors."""
+        self._purge_expired()
+        return list(self._metadata)
+
+    def metadata_count(self) -> int:
+        """Number of live metadata entries."""
+        self._purge_expired()
+        return len(self._metadata)
+
+    def remove_metadata(self, descriptor: DataDescriptor) -> None:
+        """Explicitly remove a metadata entry (e.g. data deleted)."""
+        self._metadata.pop(descriptor, None)
+
+    def _purge_expired(self) -> None:
+        now = self._clock()
+        expired = [d for d, record in self._metadata.items() if record.expired(now)]
+        for descriptor in expired:
+            del self._metadata[descriptor]
+
+    # ------------------------------------------------------------------
+    # Chunks
+    # ------------------------------------------------------------------
+    def insert_chunk(self, chunk: Chunk) -> bool:
+        """Store a chunk payload; also records/upgrades its metadata entry.
+
+        Returns:
+            True if the chunk was not already stored.
+        """
+        is_new = chunk.descriptor not in self._chunks
+        self._chunks[chunk.descriptor] = chunk
+        # Holding any chunk of an item keeps the item's metadata alive
+        # ("a metadata entry exists as long as ... any chunk ... exists").
+        self.insert_metadata(chunk.item_descriptor, has_payload=True)
+        self.insert_metadata(chunk.descriptor, has_payload=True)
+        return is_new
+
+    def has_chunk(self, descriptor: DataDescriptor) -> bool:
+        """Whether the chunk payload with this descriptor is stored."""
+        return descriptor in self._chunks
+
+    def get_chunk(self, descriptor: DataDescriptor) -> Optional[Chunk]:
+        """The stored chunk, or None."""
+        return self._chunks.get(descriptor)
+
+    def chunks_of(self, item_descriptor: DataDescriptor) -> List[Chunk]:
+        """All stored chunks belonging to the given item, by chunk id."""
+        item_descriptor = item_descriptor.item_descriptor()
+        matches = [
+            chunk
+            for chunk in self._chunks.values()
+            if chunk.item_descriptor == item_descriptor
+        ]
+        return sorted(matches, key=lambda chunk: chunk.chunk_id)
+
+    def chunk_ids_of(self, item_descriptor: DataDescriptor) -> List[int]:
+        """Sorted chunk ids stored for the given item."""
+        return [chunk.chunk_id for chunk in self.chunks_of(item_descriptor)]
+
+    def chunk_count(self) -> int:
+        """Total number of stored chunks."""
+        return len(self._chunks)
+
+    def remove_chunk(self, descriptor: DataDescriptor) -> None:
+        """Drop a chunk payload (cache eviction)."""
+        self._chunks.pop(descriptor, None)
+
+    def match_chunks(self, spec: QuerySpec) -> List[Chunk]:
+        """All stored chunks whose descriptors satisfy ``spec``."""
+        return [c for c in self._chunks.values() if spec.matches(c.descriptor)]
+
+    # ------------------------------------------------------------------
+    def stored_bytes(self) -> int:
+        """Total payload bytes held (for storage accounting)."""
+        return sum(chunk.size for chunk in self._chunks.values())

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulator is used incorrectly.
+
+    Examples: scheduling an event in the past, running a simulator that was
+    already stopped, or re-entrant calls to :meth:`Simulator.run`.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object carries invalid values."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid topology operations (unknown node, bad grid)."""
+
+
+class DataModelError(ReproError):
+    """Raised for invalid descriptors, predicates or queries."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol engine receives a malformed message."""

@@ -1,0 +1,46 @@
+"""Experiment harness: scenarios, workloads, metrics, figure modules."""
+
+from repro.experiments.metrics import AggregateMetrics, TrialMetrics
+from repro.experiments.runner import (
+    DEFAULT_SEEDS,
+    configured_seeds,
+    render_table,
+    run_trials,
+    scale_factor,
+)
+from repro.experiments.scenario import (
+    DEFAULT_RADIO_RANGE,
+    Scenario,
+    build_campus_scenario,
+    build_grid_scenario,
+    simulation_device_config,
+)
+from repro.experiments.workload import (
+    distribute_chunks,
+    distribute_metadata,
+    distribute_small_items,
+    generate_metadata,
+    make_video_item,
+    sensor_descriptor,
+)
+
+__all__ = [
+    "AggregateMetrics",
+    "DEFAULT_RADIO_RANGE",
+    "DEFAULT_SEEDS",
+    "Scenario",
+    "TrialMetrics",
+    "build_campus_scenario",
+    "build_grid_scenario",
+    "configured_seeds",
+    "distribute_chunks",
+    "distribute_metadata",
+    "distribute_small_items",
+    "generate_metadata",
+    "make_video_item",
+    "render_table",
+    "run_trials",
+    "scale_factor",
+    "sensor_descriptor",
+    "simulation_device_config",
+]

@@ -1,0 +1,82 @@
+"""The paper's metrics (§VI-A) and multi-seed aggregation.
+
+* **Recall** — fraction of distinct entries/chunks the consumer received.
+* **Latency** — query sent → last returned entry/chunk arrival.
+* **Message overhead** — bytes of all messages put on the air.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class TrialMetrics:
+    """One run's outcome."""
+
+    recall: float
+    latency_s: float
+    overhead_bytes: int
+    rounds: int = 0
+    completed: bool = True
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def overhead_mb(self) -> float:
+        """Overhead in decimal megabytes (as the paper reports)."""
+        return self.overhead_bytes / 1e6
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """Mean ± stdev over seeds."""
+
+    recall_mean: float
+    recall_std: float
+    latency_mean: float
+    latency_std: float
+    overhead_mb_mean: float
+    overhead_mb_std: float
+    rounds_mean: float
+    trials: int
+
+    @classmethod
+    def from_trials(cls, trials: Sequence[TrialMetrics]) -> "AggregateMetrics":
+        if not trials:
+            raise ValueError("cannot aggregate zero trials")
+        recalls = [t.recall for t in trials]
+        latencies = [t.latency_s for t in trials]
+        overheads = [t.overhead_mb for t in trials]
+        rounds = [t.rounds for t in trials]
+        return cls(
+            recall_mean=_mean(recalls),
+            recall_std=_std(recalls),
+            latency_mean=_mean(latencies),
+            latency_std=_std(latencies),
+            overhead_mb_mean=_mean(overheads),
+            overhead_mb_std=_std(overheads),
+            rounds_mean=_mean(rounds),
+            trials=len(trials),
+        )
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dict for table rendering."""
+        return {
+            "recall": round(self.recall_mean, 3),
+            "latency_s": round(self.latency_mean, 2),
+            "overhead_mb": round(self.overhead_mb_mean, 2),
+            "rounds": round(self.rounds_mean, 1),
+        }
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _std(values: List[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mu = _mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))

@@ -1,0 +1,69 @@
+"""Multi-seed trial running and table rendering.
+
+The paper averages each point over 5 runs (§VI-A); experiment modules
+define a per-seed trial function and hand it to :func:`run_trials`.
+Benchmarks honour ``REPRO_SEEDS`` / ``REPRO_SCALE`` environment knobs so
+full-fidelity runs and quick CI runs share the same code.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.metrics import AggregateMetrics, TrialMetrics
+
+#: Per the paper: "results are averaged over 5 runs".
+DEFAULT_SEEDS = (1, 2, 3, 4, 5)
+
+TrialFn = Callable[[int], TrialMetrics]
+
+
+def configured_seeds(default: Sequence[int] = DEFAULT_SEEDS) -> List[int]:
+    """Seeds to use, honouring the ``REPRO_SEEDS`` env var (a count)."""
+    raw = os.environ.get("REPRO_SEEDS")
+    if not raw:
+        return list(default)
+    count = max(1, int(raw))
+    return list(range(1, count + 1))
+
+
+def scale_factor(default: float = 1.0) -> float:
+    """Workload scale, honouring ``REPRO_SCALE`` (1.0 = paper scale).
+
+    Benchmarks default to a reduced scale so the suite completes quickly;
+    set ``REPRO_SCALE=1`` for paper-scale runs.
+    """
+    raw = os.environ.get("REPRO_SCALE")
+    if not raw:
+        return default
+    return float(raw)
+
+
+def run_trials(trial: TrialFn, seeds: Optional[Iterable[int]] = None) -> AggregateMetrics:
+    """Run ``trial`` per seed and aggregate."""
+    if seeds is None:
+        seeds = configured_seeds()
+    results = [trial(seed) for seed in seeds]
+    return AggregateMetrics.from_trials(results)
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: List[Dict[str, object]],
+) -> str:
+    """A plain fixed-width table, one row per parameter point."""
+    widths = {col: max(len(col), 10) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(str(row.get(col, ""))))
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    lines.append(rule)
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Mobility: campus observation traces, random waypoint, trace playback."""
+
+from repro.mobility.campus import (
+    CLASSROOMS,
+    STUDENT_CENTER,
+    CampusScenario,
+    CampusTrace,
+    generate_campus_trace,
+)
+from repro.mobility.model import AreaSpec, MobilityEvent, MobilityEventKind
+from repro.mobility.static import place_uniform
+from repro.mobility.trace import TracePlayer
+from repro.mobility.waypoint import generate_waypoint_trace
+
+__all__ = [
+    "AreaSpec",
+    "CLASSROOMS",
+    "CampusScenario",
+    "CampusTrace",
+    "MobilityEvent",
+    "MobilityEventKind",
+    "STUDENT_CENTER",
+    "TracePlayer",
+    "generate_campus_trace",
+    "generate_waypoint_trace",
+    "place_uniform",
+]

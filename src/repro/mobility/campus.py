@@ -1,0 +1,188 @@
+"""Observation-based campus mobility traces (§VI-B-2).
+
+The paper observed two university locations for 8 hours total and reports:
+
+* **Student Center** — 120×120 m², ≈20 people present; per minute ≈1
+  person joins, ≈1 leaves, ≈4 move within the area.
+* **Classrooms** — 20×20 m², ≈30 people present; per minute ≈0.5 join,
+  ≈0.5 leave, ≈0.5 move.
+
+Traces are generated from these rates as Poisson processes, with a
+``frequency_scale`` knob (the paper varies 0.5×–2×).  Movement is a walk
+to a uniformly random destination at pedestrian speed, discretised into
+per-second steps so connectivity changes smoothly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.mobility.model import AreaSpec, MobilityEvent, MobilityEventKind
+from repro.net.topology import NodeId
+
+#: Pedestrian walking speed in m/s.
+WALK_SPEED = 1.2
+
+#: Seconds between interpolated positions of a walking node.
+MOVE_STEP_S = 1.0
+
+
+@dataclass(frozen=True)
+class CampusScenario:
+    """Observed parameters of one location (§VI-B-2)."""
+
+    name: str
+    area: AreaSpec
+    population: int
+    joins_per_minute: float
+    leaves_per_minute: float
+    moves_per_minute: float
+
+
+STUDENT_CENTER = CampusScenario(
+    name="student_center",
+    area=AreaSpec(120.0, 120.0),
+    population=20,
+    joins_per_minute=1.0,
+    leaves_per_minute=1.0,
+    moves_per_minute=4.0,
+)
+
+CLASSROOMS = CampusScenario(
+    name="classrooms",
+    area=AreaSpec(20.0, 20.0),
+    population=30,
+    joins_per_minute=0.5,
+    leaves_per_minute=0.5,
+    moves_per_minute=0.5,
+)
+
+
+@dataclass
+class CampusTrace:
+    """A generated trace plus the node book-keeping the driver needs."""
+
+    scenario: CampusScenario
+    frequency_scale: float
+    duration_s: float
+    initial_nodes: List[NodeId]
+    initial_positions: dict
+    events: List[MobilityEvent]
+    #: Ids of nodes that join during the trace (beyond the initial set).
+    joining_nodes: List[NodeId]
+
+
+def generate_campus_trace(
+    scenario: CampusScenario,
+    duration_s: float,
+    rng: random.Random,
+    frequency_scale: float = 1.0,
+    first_node_id: NodeId = 0,
+) -> CampusTrace:
+    """Generate one trace from the observed rates.
+
+    Join/leave/move events arrive as independent Poisson processes at the
+    observed per-minute rates times ``frequency_scale``.  Leaves pick a
+    uniformly random present node; moves walk a present node to a uniform
+    destination at walking speed with 1 s position steps.
+    """
+    area = scenario.area
+    events: List[MobilityEvent] = []
+    positions = {}
+    present: List[NodeId] = []
+    next_id = first_node_id
+    for _ in range(scenario.population):
+        positions[next_id] = (
+            rng.uniform(0, area.width),
+            rng.uniform(0, area.height),
+        )
+        present.append(next_id)
+        next_id += 1
+    initial_nodes = list(present)
+    initial_positions = dict(positions)
+    joining: List[NodeId] = []
+
+    def poisson_times(rate_per_minute: float) -> List[float]:
+        rate = rate_per_minute * frequency_scale / 60.0
+        times = []
+        t = 0.0
+        if rate <= 0:
+            return times
+        while True:
+            t += rng.expovariate(rate)
+            if t >= duration_s:
+                return times
+            times.append(t)
+
+    timeline = []
+    for t in poisson_times(scenario.joins_per_minute):
+        timeline.append((t, "join"))
+    for t in poisson_times(scenario.leaves_per_minute):
+        timeline.append((t, "leave"))
+    for t in poisson_times(scenario.moves_per_minute):
+        timeline.append((t, "move"))
+    timeline.sort()
+
+    # Busy-walking nodes cannot be picked for another move/leave mid-walk;
+    # track until when each node walks.
+    walking_until = {}
+
+    def pickable(now: float) -> List[NodeId]:
+        return [n for n in present if walking_until.get(n, 0.0) <= now]
+
+    for t, kind in timeline:
+        if kind == "join":
+            position = (rng.uniform(0, area.width), rng.uniform(0, area.height))
+            events.append(
+                MobilityEvent(t, MobilityEventKind.JOIN, next_id, position)
+            )
+            positions[next_id] = position
+            present.append(next_id)
+            joining.append(next_id)
+            next_id += 1
+        elif kind == "leave":
+            candidates = pickable(t)
+            if not candidates:
+                continue
+            node = rng.choice(candidates)
+            events.append(MobilityEvent(t, MobilityEventKind.LEAVE, node))
+            present.remove(node)
+            positions.pop(node, None)
+        else:  # move
+            candidates = pickable(t)
+            if not candidates:
+                continue
+            node = rng.choice(candidates)
+            start = positions[node]
+            dest = (rng.uniform(0, area.width), rng.uniform(0, area.height))
+            distance = math.hypot(dest[0] - start[0], dest[1] - start[1])
+            travel = distance / WALK_SPEED
+            steps = max(1, int(travel / MOVE_STEP_S))
+            for step in range(1, steps + 1):
+                frac = step / steps
+                when = t + frac * travel
+                if when >= duration_s:
+                    break
+                waypoint = (
+                    start[0] + frac * (dest[0] - start[0]),
+                    start[1] + frac * (dest[1] - start[1]),
+                )
+                events.append(
+                    MobilityEvent(when, MobilityEventKind.MOVE, node, waypoint)
+                )
+            positions[node] = dest
+            walking_until[node] = t + travel
+
+    events.sort(key=lambda e: e.time)
+    return CampusTrace(
+        scenario=scenario,
+        frequency_scale=frequency_scale,
+        duration_s=duration_s,
+        initial_nodes=initial_nodes,
+        initial_positions=initial_positions,
+        events=events,
+        joining_nodes=joining,
+    )

@@ -1,0 +1,33 @@
+"""Static placements: the no-mobility baseline scenarios.
+
+The paper's static scenario is a 10×10 grid (built by
+:func:`repro.net.topology.build_grid`); this module adds uniform random
+placement inside an area, used to initialise mobile scenarios and examples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.mobility.model import AreaSpec
+from repro.net.topology import NodeId, Position, Topology
+
+
+def place_uniform(
+    topology: Topology,
+    node_ids: List[NodeId],
+    area: AreaSpec,
+    rng: random.Random,
+) -> Dict[NodeId, Position]:
+    """Place nodes uniformly at random inside ``area``.
+
+    Returns:
+        The positions assigned, keyed by node id.
+    """
+    positions = {}
+    for node_id in node_ids:
+        position = (rng.uniform(0, area.width), rng.uniform(0, area.height))
+        topology.add_node(node_id, position)
+        positions[node_id] = position
+    return positions

@@ -1,0 +1,56 @@
+"""Random-waypoint mobility (a standard synthetic baseline).
+
+Not used by the paper's headline figures (those use the observation-based
+campus traces), but useful for sensitivity studies and examples: every node
+alternates between pausing and walking to a uniformly random destination.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List
+
+from repro.mobility.campus import MOVE_STEP_S, WALK_SPEED
+from repro.mobility.model import AreaSpec, MobilityEvent, MobilityEventKind
+from repro.net.topology import NodeId, Position
+
+
+def generate_waypoint_trace(
+    node_ids: List[NodeId],
+    initial_positions: Dict[NodeId, Position],
+    area: AreaSpec,
+    duration_s: float,
+    rng: random.Random,
+    speed: float = WALK_SPEED,
+    pause_min_s: float = 5.0,
+    pause_max_s: float = 60.0,
+) -> List[MobilityEvent]:
+    """Generate MOVE events for all nodes over ``duration_s`` seconds."""
+    events: List[MobilityEvent] = []
+    for node_id in node_ids:
+        t = rng.uniform(0.0, pause_max_s)
+        position = initial_positions[node_id]
+        while t < duration_s:
+            if speed <= 0:
+                break  # an immobile node generates no move events
+            dest = (rng.uniform(0, area.width), rng.uniform(0, area.height))
+            distance = math.hypot(dest[0] - position[0], dest[1] - position[1])
+            travel = distance / speed
+            steps = max(1, int(travel / MOVE_STEP_S))
+            for step in range(1, steps + 1):
+                frac = step / steps
+                when = t + frac * travel
+                if when >= duration_s:
+                    break
+                waypoint = (
+                    position[0] + frac * (dest[0] - position[0]),
+                    position[1] + frac * (dest[1] - position[1]),
+                )
+                events.append(
+                    MobilityEvent(when, MobilityEventKind.MOVE, node_id, waypoint)
+                )
+            position = dest
+            t += travel + rng.uniform(pause_min_s, pause_max_s)
+    events.sort(key=lambda e: e.time)
+    return events

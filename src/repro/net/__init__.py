@@ -1,0 +1,68 @@
+"""Wireless substrate: topology, broadcast medium, radio, pacing, acks."""
+
+from repro.net.energy import EnergyModel, EnergyReport, energy_report
+from repro.net.faces import BroadcastFace
+from repro.net.leaky_bucket import (
+    DEFAULT_BUCKET_CAPACITY,
+    DEFAULT_LEAK_RATE_BPS,
+    LeakyBucket,
+    LeakyBucketConfig,
+)
+from repro.net.medium import (
+    DEFAULT_BASE_LOSS,
+    DEFAULT_BROADCAST_RATE_BPS,
+    BroadcastMedium,
+)
+from repro.net.message import ACK_PAYLOAD_BYTES, FRAME_HEADER_BYTES, AckMessage, Frame
+from repro.net.radio import Radio, RadioConfig
+from repro.net.reliability import (
+    DEFAULT_MAX_RETRANSMISSIONS,
+    DEFAULT_RETR_TIMEOUT_S,
+    ReliabilityConfig,
+    ReliabilityReceiver,
+    ReliabilitySender,
+)
+from repro.net.stats import NetworkStats
+from repro.net.topology import (
+    NodeId,
+    Topology,
+    build_grid,
+    center_node,
+    center_subgrid,
+    grid_spacing_for_8_neighbors,
+)
+from repro.net.wifi_direct import WifiDirectLayout, build_wifi_direct_topology
+
+__all__ = [
+    "ACK_PAYLOAD_BYTES",
+    "AckMessage",
+    "BroadcastFace",
+    "BroadcastMedium",
+    "DEFAULT_BASE_LOSS",
+    "DEFAULT_BROADCAST_RATE_BPS",
+    "DEFAULT_BUCKET_CAPACITY",
+    "DEFAULT_LEAK_RATE_BPS",
+    "DEFAULT_MAX_RETRANSMISSIONS",
+    "DEFAULT_RETR_TIMEOUT_S",
+    "EnergyModel",
+    "EnergyReport",
+    "FRAME_HEADER_BYTES",
+    "Frame",
+    "energy_report",
+    "LeakyBucket",
+    "LeakyBucketConfig",
+    "NetworkStats",
+    "NodeId",
+    "Radio",
+    "RadioConfig",
+    "ReliabilityConfig",
+    "ReliabilityReceiver",
+    "ReliabilitySender",
+    "Topology",
+    "WifiDirectLayout",
+    "build_grid",
+    "build_wifi_direct_topology",
+    "center_node",
+    "center_subgrid",
+    "grid_spacing_for_8_neighbors",
+]

@@ -1,0 +1,74 @@
+"""Datagram framing: PDS messages over real UDP sockets.
+
+The simulation never opens sockets, but a deployed PDS is exactly "UDP
+broadcast with intended-receiver lists" (§V).  These helpers frame encoded
+messages (:mod:`repro.core.wire`) for a datagram transport: a magic/version
+prefix guards against foreign traffic, and a length field guards against
+truncation by undersized receive buffers.
+
+Usage with a standard socket::
+
+    sock.sendto(pack_datagram(message), ("255.255.255.255", PDS_PORT))
+    message = unpack_datagram(sock.recv(65535))
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.core.wire import decode_message, encode_message
+from repro.data.codec import AttributeDictionary, DEFAULT_DICTIONARY
+from repro.errors import ProtocolError
+
+#: Magic bytes + protocol version prefixing every datagram.
+MAGIC = b"PDS1"
+
+#: Default UDP port for PDS traffic.
+PDS_PORT = 47474
+
+#: Largest payload we frame (fits a 64 KiB UDP datagram with headroom).
+MAX_DATAGRAM_PAYLOAD = 64_000
+
+
+def pack_datagram(
+    message, dictionary: AttributeDictionary = DEFAULT_DICTIONARY
+) -> bytes:
+    """Frame one message: MAGIC + length + encoded body."""
+    body = encode_message(message, dictionary)
+    if len(body) > MAX_DATAGRAM_PAYLOAD:
+        raise ProtocolError(
+            f"message of {len(body)} bytes exceeds the datagram limit "
+            f"({MAX_DATAGRAM_PAYLOAD}); chunk payloads ship out-of-band"
+        )
+    return MAGIC + struct.pack("<I", len(body)) + body
+
+
+def unpack_datagram(
+    data: bytes, dictionary: AttributeDictionary = DEFAULT_DICTIONARY
+):
+    """Parse a framed datagram back into a message.
+
+    Raises:
+        ProtocolError: wrong magic, truncation, or undecodable body.
+    """
+    header = len(MAGIC) + 4
+    if len(data) < header:
+        raise ProtocolError("datagram shorter than its header")
+    if data[: len(MAGIC)] != MAGIC:
+        raise ProtocolError("not a PDS datagram (bad magic)")
+    (length,) = struct.unpack_from("<I", data, len(MAGIC))
+    body = data[header : header + length]
+    if len(body) != length:
+        raise ProtocolError(
+            f"truncated datagram: announced {length} bytes, got {len(body)}"
+        )
+    return decode_message(body, dictionary)
+
+
+def try_unpack(data: bytes) -> Optional[object]:
+    """Best-effort parse: None instead of an exception (noisy networks)."""
+    try:
+        return unpack_datagram(data)
+    except ProtocolError:
+        return None

@@ -1,0 +1,227 @@
+"""The shared broadcast wireless medium.
+
+Replaces the paper's NS-3 802.11 stack with an event-driven model that
+reproduces the effects the evaluation depends on:
+
+* **airtime** — a transmission occupies the channel for
+  ``preamble + bits / broadcast_rate`` seconds;
+* **carrier sense** — radios ask :meth:`channel_busy` before transmitting
+  and defer with random backoff while any sensed node is on the air.
+  Physical carrier sense reaches ``carrier_sense_factor`` × the
+  communication range (energy detection works below decoding SNR), which
+  suppresses most hidden terminals, as on real hardware;
+* **hidden-terminal collisions** — a receiver loses a frame when another
+  in-range transmission overlaps it in time;
+* **half-duplex receivers** — a node transmitting during a frame's airtime
+  cannot receive it;
+* **base loss** — a small independent per-delivery loss probability models
+  fading and residual interference;
+* **overhearing** — every surviving delivery goes to *all* in-range nodes,
+  not only addressed ones, which is what enables opportunistic caching.
+
+Collisions and half-duplex conflicts are detected *event-driven*: each
+transmission start marks the overlapping receptions it ruins, so delivery
+is O(1) instead of scanning transmission history.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.net.message import Frame
+from repro.net.stats import NetworkStats
+from repro.net.topology import NodeId, Topology
+from repro.sim.simulator import Simulator
+
+#: MAC broadcast data rate (802.11n 20 MHz broadcast ≈ 7.2 Mbps, §V-2).
+DEFAULT_BROADCAST_RATE_BPS = 7.2e6
+
+#: Fixed per-frame channel time (preamble, MAC framing, DIFS...).
+DEFAULT_PREAMBLE_S = 0.3e-3
+
+#: Default independent per-delivery loss probability.
+DEFAULT_BASE_LOSS = 0.02
+
+#: Physical carrier sense reaches beyond the communication range in 802.11.
+DEFAULT_CARRIER_SENSE_FACTOR = 2.0
+
+
+@dataclass
+class _Reception:
+    """One pending frame delivery at one receiver."""
+
+    sender: NodeId
+    start: float
+    end: float
+    ruined_by_collision: bool = False
+    ruined_by_busy: bool = False
+
+
+@dataclass
+class _Transmission:
+    """One in-flight transmission."""
+
+    sender: NodeId
+    start: float
+    end: float
+    frame: Frame
+    receptions: Dict[NodeId, _Reception] = field(default_factory=dict)
+
+
+class BroadcastMedium:
+    """Event-driven shared-channel model with collisions and overhearing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        rng: random.Random,
+        stats: Optional[NetworkStats] = None,
+        broadcast_rate_bps: float = DEFAULT_BROADCAST_RATE_BPS,
+        preamble_s: float = DEFAULT_PREAMBLE_S,
+        base_loss: float = DEFAULT_BASE_LOSS,
+        carrier_sense_factor: float = DEFAULT_CARRIER_SENSE_FACTOR,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.rng = rng
+        self.stats = stats if stats is not None else NetworkStats()
+        self.broadcast_rate_bps = broadcast_rate_bps
+        self.preamble_s = preamble_s
+        self.base_loss = base_loss
+        self.carrier_sense_factor = carrier_sense_factor
+        self._receivers: Dict[NodeId, Callable[[Frame], None]] = {}
+        #: Transmissions whose airtime has not ended yet.
+        self._active: List[_Transmission] = []
+        #: Receptions in progress, per receiving node.
+        self._receiving: Dict[NodeId, List[_Reception]] = {}
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self, node_id: NodeId, deliver: Callable[[Frame], None]) -> None:
+        """Register the frame-delivery callback of a node's radio."""
+        self._receivers[node_id] = deliver
+
+    def detach(self, node_id: NodeId) -> None:
+        """Remove a node's radio (e.g. the user left)."""
+        self._receivers.pop(node_id, None)
+        self._receiving.pop(node_id, None)
+
+    # ------------------------------------------------------------------
+    # Channel state
+    # ------------------------------------------------------------------
+    def airtime(self, size_bytes: int) -> float:
+        """Channel occupancy of a frame of the given total size."""
+        return self.preamble_s + (size_bytes * 8) / self.broadcast_rate_bps
+
+    def _prune_active(self) -> None:
+        now = self.sim.now
+        if any(tx.end <= now for tx in self._active):
+            self._active = [tx for tx in self._active if tx.end > now]
+
+    def _senses(self, node_id: NodeId, sender: NodeId) -> bool:
+        """Whether ``node_id``'s carrier sense detects ``sender``."""
+        if node_id == sender:
+            return True
+        if node_id not in self.topology or sender not in self.topology:
+            return False
+        sense_range = self.topology.radio_range * self.carrier_sense_factor
+        return sender in self.topology.nodes_within(node_id, sense_range)
+
+    def channel_busy(self, node_id: NodeId) -> bool:
+        """Carrier sense: is any sensed node (or self) transmitting now?"""
+        self._prune_active()
+        return any(self._senses(node_id, tx.sender) for tx in self._active)
+
+    def busy_until(self, node_id: NodeId) -> float:
+        """Earliest time the channel around ``node_id`` could become free."""
+        self._prune_active()
+        latest = self.sim.now
+        for tx in self._active:
+            if self._senses(node_id, tx.sender):
+                latest = max(latest, tx.end)
+        return latest
+
+    def node_transmitting(self, node_id: NodeId) -> bool:
+        """Whether the node itself is currently on the air."""
+        self._prune_active()
+        return any(tx.sender == node_id for tx in self._active)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(self, frame: Frame) -> float:
+        """Put ``frame`` on the air now; returns its airtime.
+
+        The radio is responsible for carrier sensing *before* calling this.
+        Deliveries to every in-range node are scheduled at transmission end;
+        collisions and half-duplex conflicts are marked as they happen.
+        """
+        now = self.sim.now
+        self._prune_active()
+        duration = self.airtime(frame.size)
+        end = now + duration
+        tx = _Transmission(sender=frame.sender, start=now, end=end, frame=frame)
+        self.stats.record_transmission(frame.kind, frame.size, sender=frame.sender)
+
+        # Half duplex: starting to transmit ruins our own in-progress
+        # receptions.
+        for reception in self._receiving.get(frame.sender, ()):
+            if reception.end > now:
+                reception.ruined_by_busy = True
+
+        if frame.sender in self.topology:
+            for receiver in self.topology.neighbors(frame.sender):
+                reception = _Reception(sender=frame.sender, start=now, end=end)
+                # Collision: another in-range transmission is already being
+                # received here — both frames are ruined.
+                for other in self._receiving.get(receiver, ()):
+                    if other.end > now:
+                        other.ruined_by_collision = True
+                        reception.ruined_by_collision = True
+                # Half duplex: the receiver itself is mid-transmission.
+                if any(a.sender == receiver for a in self._active):
+                    reception.ruined_by_busy = True
+                self._receiving.setdefault(receiver, []).append(reception)
+                tx.receptions[receiver] = reception
+                self.sim.schedule(duration, self._deliver, tx, receiver)
+
+        self._active.append(tx)
+        return duration
+
+    def _deliver(self, tx: _Transmission, receiver: NodeId) -> None:
+        reception = tx.receptions.pop(receiver, None)
+        if reception is not None:
+            in_progress = self._receiving.get(receiver)
+            if in_progress is not None:
+                try:
+                    in_progress.remove(reception)
+                except ValueError:
+                    pass
+                if not in_progress:
+                    del self._receiving[receiver]
+        deliver = self._receivers.get(receiver)
+        if deliver is None or receiver not in self.topology:
+            return
+        # The receiver may have moved out of range during the airtime.
+        if tx.sender not in self.topology or not self.topology.in_range(
+            receiver, tx.sender
+        ):
+            return
+        if reception is None:
+            return
+        if reception.ruined_by_busy:
+            self.stats.frames_lost_busy_receiver += 1
+            return
+        if reception.ruined_by_collision:
+            self.stats.frames_lost_collision += 1
+            return
+        if self.base_loss > 0 and self.rng.random() < self.base_loss:
+            self.stats.frames_lost_random += 1
+            return
+        self.stats.frames_delivered += 1
+        self.stats.record_reception(receiver, tx.frame.size)
+        deliver(tx.frame)

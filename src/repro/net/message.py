@@ -1,0 +1,92 @@
+"""Frames: the unit of transmission on the broadcast medium.
+
+A frame wraps one protocol message (the ``payload``) with link-level
+addressing.  ``receivers`` carries the *intended receiver list* of §III —
+``None`` means "all neighbors" (flooding); otherwise only the listed nodes
+act on/forward the payload, while every in-range node still overhears it
+and may cache its content.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.net.topology import NodeId
+
+#: Byte cost of link/UDP/IP headers per frame (compact model).
+FRAME_HEADER_BYTES = 36
+
+#: Payload size of an application-level ack (§V-1: frame id + node id).
+ACK_PAYLOAD_BYTES = 12
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class Frame:
+    """One link-layer transmission.
+
+    Attributes:
+        sender: Current-hop transmitter.
+        payload: The protocol message carried (opaque to the link layer).
+        payload_size: Serialized payload size in bytes.
+        receivers: Intended receivers at this hop, or None for all neighbors.
+        needs_ack: Whether the reliability layer expects per-receiver acks.
+        kind: Short label for stats ("query", "response", "chunk", "ack"...).
+        frame_id: Unique id acked by receivers; fresh per logical send,
+            shared across retransmissions of the same frame.
+        retransmission: 0 for the first copy, 1.. for retries.
+    """
+
+    sender: NodeId
+    payload: object
+    payload_size: int
+    receivers: Optional[FrozenSet[NodeId]] = None
+    needs_ack: bool = False
+    kind: str = "data"
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    retransmission: int = 0
+
+    @property
+    def size(self) -> int:
+        """Total on-air bytes including frame headers."""
+        return self.payload_size + FRAME_HEADER_BYTES
+
+    def addressed_to(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` is an intended receiver of this frame."""
+        return self.receivers is None or node_id in self.receivers
+
+    def copy_for_retransmission(self, receivers: FrozenSet[NodeId]) -> "Frame":
+        """A retry copy aimed at the not-yet-acked subset (§V-1)."""
+        return Frame(
+            sender=self.sender,
+            payload=self.payload,
+            payload_size=self.payload_size,
+            receivers=receivers,
+            needs_ack=self.needs_ack,
+            kind=self.kind,
+            frame_id=self.frame_id,
+            retransmission=self.retransmission + 1,
+        )
+
+
+@dataclass
+class AckMessage:
+    """Application-level ack payload (§V-1)."""
+
+    frame_id: int
+    acker: NodeId
+
+
+def make_ack_frame(sender: NodeId, acked_frame: Frame) -> Frame:
+    """Build the ack frame a receiver returns for ``acked_frame``."""
+    return Frame(
+        sender=sender,
+        payload=AckMessage(frame_id=acked_frame.frame_id, acker=sender),
+        payload_size=ACK_PAYLOAD_BYTES,
+        receivers=frozenset({acked_frame.sender}),
+        needs_ack=False,
+        kind="ack",
+    )

@@ -1,0 +1,186 @@
+"""Per-node radio: OS send buffer + CSMA transmit loop.
+
+Models the path below the application on an Android phone (§V-2): frames
+enter a finite OS buffer (newly arrived frames are *silently dropped* when
+it is full — the documented cause of the 14% raw-UDP reception) and drain
+one at a time at the MAC broadcast rate, deferring with random backoff
+while the channel is busy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+from collections import deque
+
+from repro.errors import ConfigurationError
+from repro.net.medium import BroadcastMedium
+from repro.net.message import Frame
+from repro.net.topology import NodeId
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Link-level knobs.
+
+    Attributes:
+        os_buffer_bytes: Capacity of the OS send buffer.  The paper's
+            validation saw ≈658 × 1.5 KB frames accepted before overflow,
+            i.e. ≈1 MB.
+        backoff_min_s / backoff_max_s: Uniform random deferral when the
+            channel is sensed busy, applied after the channel frees.
+        inter_frame_gap_s: Idle gap between back-to-back own transmissions.
+    """
+
+    os_buffer_bytes: int = 1_000_000
+    backoff_min_s: float = 0.2e-3
+    backoff_max_s: float = 1.5e-3
+    inter_frame_gap_s: float = 0.1e-3
+
+    def __post_init__(self) -> None:
+        if self.os_buffer_bytes <= 0:
+            raise ConfigurationError("os_buffer_bytes must be positive")
+        if not 0 <= self.backoff_min_s <= self.backoff_max_s:
+            raise ConfigurationError("backoff window must satisfy 0 <= min <= max")
+
+
+class Radio:
+    """A half-duplex CSMA radio with a finite OS send buffer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: BroadcastMedium,
+        node_id: NodeId,
+        rng: random.Random,
+        config: Optional[RadioConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.medium = medium
+        self.node_id = node_id
+        self.rng = rng
+        self.config = config if config is not None else RadioConfig()
+        self._queue: Deque[Frame] = deque()
+        self._queued_bytes = 0
+        self._sending = False
+        self._receive_callback: Optional[Callable[[Frame], None]] = None
+        self._sent_callback: Optional[Callable[[Frame], None]] = None
+        medium.attach(node_id, self._on_frame)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def on_receive(self, callback: Callable[[Frame], None]) -> None:
+        """Set the upcall invoked for every frame heard on the air."""
+        self._receive_callback = callback
+
+    def on_sent(self, callback: Callable[[Frame], None]) -> None:
+        """Set the upcall invoked when a frame finishes transmitting.
+
+        The reliability layer uses this to start retransmission timers at
+        the moment the frame actually left the radio.
+        """
+        self._sent_callback = callback
+
+    def shutdown(self) -> None:
+        """Detach from the medium and drop queued frames (node left)."""
+        self.medium.detach(self.node_id)
+        self._queue.clear()
+        self._queued_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, frame: Frame, priority: bool = False) -> bool:
+        """Enqueue a frame into the OS buffer.
+
+        Returns:
+            False if the buffer was full and the frame was silently dropped
+            (the Android UDP overflow behaviour), True otherwise.
+        """
+        if self._queued_bytes + frame.size > self.config.os_buffer_bytes:
+            self.medium.stats.frames_dropped_buffer += 1
+            return False
+        if priority:
+            self._queue.appendleft(frame)
+        else:
+            self._queue.append(frame)
+        self._queued_bytes += frame.size
+        self._pump()
+        return True
+
+    def remove(self, frame: Frame) -> bool:
+        """Withdraw a queued frame (by object identity) before it airs.
+
+        Returns:
+            True if the frame was still in the OS buffer and was removed.
+        """
+        for queued in self._queue:
+            if queued is frame:
+                self._queue.remove(queued)
+                self._queued_bytes -= frame.size
+                return True
+        return False
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes currently waiting in the OS buffer."""
+        return self._queued_bytes
+
+    @property
+    def queue_length(self) -> int:
+        """Frames currently waiting in the OS buffer."""
+        return len(self._queue)
+
+    def queued_frames(self):
+        """Snapshot of the frames currently waiting (read-only use)."""
+        return list(self._queue)
+
+    def _pump(self) -> None:
+        if self._sending or not self._queue:
+            return
+        self._sending = True
+        self._attempt()
+
+    def _attempt(self) -> None:
+        if not self._queue:
+            self._sending = False
+            return
+        if self.node_id not in self.medium.topology:
+            # Node left the area; discard outstanding traffic.
+            self._queue.clear()
+            self._queued_bytes = 0
+            self._sending = False
+            return
+        if self.medium.channel_busy(self.node_id):
+            wait = self.medium.busy_until(self.node_id) - self.sim.now
+            backoff = self.rng.uniform(
+                self.config.backoff_min_s, self.config.backoff_max_s
+            )
+            self.sim.schedule(max(0.0, wait) + backoff, self._attempt)
+            return
+        frame = self._queue.popleft()
+        self._queued_bytes -= frame.size
+        duration = self.medium.transmit(frame)
+        self.sim.schedule(duration, self._finished, frame)
+
+    def _finished(self, frame: Frame) -> None:
+        if self._sent_callback is not None:
+            self._sent_callback(frame)
+        if self._queue:
+            gap = self.config.inter_frame_gap_s + self.rng.uniform(
+                0.0, self.config.backoff_max_s
+            )
+            self.sim.schedule(gap, self._attempt)
+        else:
+            self._sending = False
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame: Frame) -> None:
+        if self._receive_callback is not None:
+            self._receive_callback(frame)

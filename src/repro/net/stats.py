@@ -1,0 +1,74 @@
+"""Transmission statistics: the message-overhead metric of §VI-A.
+
+The paper's *message overhead* is "the number of bytes of all messages".
+We count every frame put on the air — data, retransmissions and acks — and
+also keep per-kind breakdowns for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class NetworkStats:
+    """Mutable counters shared by all radios on one medium."""
+
+    frames_sent: int = 0
+    bytes_sent: int = 0
+    frames_delivered: int = 0
+    frames_lost_collision: int = 0
+    frames_lost_random: int = 0
+    frames_lost_busy_receiver: int = 0
+    frames_dropped_buffer: int = 0
+    frames_dropped_bucket: int = 0
+    bytes_by_kind: Counter = field(default_factory=Counter)
+    frames_by_kind: Counter = field(default_factory=Counter)
+    #: Per-node counters feeding the energy model (repro.net.energy).
+    tx_bytes_by_node: Counter = field(default_factory=Counter)
+    rx_bytes_by_node: Counter = field(default_factory=Counter)
+
+    def record_transmission(self, kind: str, size: int, sender=None) -> None:
+        """Account one frame put on the air."""
+        self.frames_sent += 1
+        self.bytes_sent += size
+        self.bytes_by_kind[kind] += size
+        self.frames_by_kind[kind] += 1
+        if sender is not None:
+            self.tx_bytes_by_node[sender] += size
+
+    def record_reception(self, receiver, size: int) -> None:
+        """Account one successful frame delivery at a node."""
+        self.rx_bytes_by_node[receiver] += size
+
+    def overhead_bytes(self, include_acks: bool = True) -> int:
+        """Total transmitted bytes (the paper's message overhead)."""
+        if include_acks:
+            return self.bytes_sent
+        return self.bytes_sent - self.bytes_by_kind.get("ack", 0)
+
+    def loss_ratio(self) -> float:
+        """Fraction of per-receiver deliveries that were lost on the air."""
+        lost = (
+            self.frames_lost_collision
+            + self.frames_lost_random
+            + self.frames_lost_busy_receiver
+        )
+        attempts = self.frames_delivered + lost
+        return lost / attempts if attempts else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict snapshot for reporting."""
+        return {
+            "frames_sent": self.frames_sent,
+            "bytes_sent": self.bytes_sent,
+            "frames_delivered": self.frames_delivered,
+            "frames_lost_collision": self.frames_lost_collision,
+            "frames_lost_random": self.frames_lost_random,
+            "frames_lost_busy_receiver": self.frames_lost_busy_receiver,
+            "frames_dropped_buffer": self.frames_dropped_buffer,
+            "frames_dropped_bucket": self.frames_dropped_bucket,
+            "loss_ratio": self.loss_ratio(),
+        }

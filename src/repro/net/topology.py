@@ -1,0 +1,226 @@
+"""Node placement and the neighbor relation.
+
+The topology tracks a position per node and derives connectivity from a
+disk model: two nodes are neighbors iff their distance is at most
+``radio_range``.  Mobility models move nodes by calling :meth:`move`;
+join/leave events add and remove nodes.  A 10×10 grid spaced so each node
+reaches its 8 surrounding neighbors is the paper's static scenario (§VI-A).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import TopologyError
+
+NodeId = int
+Position = Tuple[float, float]
+
+
+class Topology:
+    """Mutable set of node positions with disk-model connectivity."""
+
+    def __init__(self, radio_range: float) -> None:
+        if radio_range <= 0:
+            raise TopologyError(f"radio range must be positive, got {radio_range}")
+        self.radio_range = radio_range
+        self._positions: Dict[NodeId, Position] = {}
+        #: Bumped on every mutation; range-query caches key off it.
+        self.version = 0
+        self._range_cache: Dict[Tuple[NodeId, float], List[NodeId]] = {}
+
+    def _invalidate(self) -> None:
+        self.version += 1
+        if self._range_cache:
+            self._range_cache.clear()
+
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: NodeId, position: Position) -> None:
+        """Place a new node.
+
+        Raises:
+            TopologyError: if the node already exists.
+        """
+        if node_id in self._positions:
+            raise TopologyError(f"node {node_id} already in topology")
+        self._positions[node_id] = (float(position[0]), float(position[1]))
+        self._invalidate()
+
+    def remove_node(self, node_id: NodeId) -> None:
+        """Remove a node (e.g. user left the area)."""
+        if node_id not in self._positions:
+            raise TopologyError(f"node {node_id} not in topology")
+        del self._positions[node_id]
+        self._invalidate()
+
+    def move(self, node_id: NodeId, position: Position) -> None:
+        """Update a node's position."""
+        if node_id not in self._positions:
+            raise TopologyError(f"node {node_id} not in topology")
+        self._positions[node_id] = (float(position[0]), float(position[1]))
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._positions
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def nodes(self) -> List[NodeId]:
+        """All node ids currently present."""
+        return list(self._positions)
+
+    def position(self, node_id: NodeId) -> Position:
+        """Current position of ``node_id``."""
+        try:
+            return self._positions[node_id]
+        except KeyError:
+            raise TopologyError(f"node {node_id} not in topology") from None
+
+    def distance(self, a: NodeId, b: NodeId) -> float:
+        """Euclidean distance between two nodes."""
+        ax, ay = self.position(a)
+        bx, by = self.position(b)
+        return math.hypot(ax - bx, ay - by)
+
+    def in_range(self, a: NodeId, b: NodeId) -> bool:
+        """Whether ``a`` and ``b`` can hear each other (a != b)."""
+        if a == b:
+            return False
+        if a not in self._positions or b not in self._positions:
+            return False
+        return self.distance(a, b) <= self.radio_range
+
+    def nodes_within(self, node_id: NodeId, radius: float) -> List[NodeId]:
+        """All other nodes within ``radius`` of ``node_id`` (cached).
+
+        The cache is invalidated by any topology mutation, so static
+        scenarios pay the O(N) scan once per node.
+        """
+        if node_id not in self._positions:
+            return []
+        key = (node_id, radius)
+        cached = self._range_cache.get(key)
+        if cached is not None:
+            return cached
+        x, y = self._positions[node_id]
+        result = []
+        for other, (ox, oy) in self._positions.items():
+            if other != node_id and math.hypot(x - ox, y - oy) <= radius:
+                result.append(other)
+        self._range_cache[key] = result
+        return result
+
+    def neighbors(self, node_id: NodeId) -> List[NodeId]:
+        """All nodes within radio range of ``node_id``."""
+        return self.nodes_within(node_id, self.radio_range)
+
+    # ------------------------------------------------------------------
+    def hop_distance(self, source: NodeId, target: NodeId) -> Optional[int]:
+        """Fewest hops from source to target, or None if disconnected.
+
+        BFS over the current connectivity graph; used by tests and metrics,
+        never by the protocol itself (nodes have no global knowledge).
+        """
+        if source == target:
+            return 0
+        visited = {source}
+        frontier = [source]
+        hops = 0
+        while frontier:
+            hops += 1
+            next_frontier = []
+            for node in frontier:
+                for neighbor in self.neighbors(node):
+                    if neighbor in visited:
+                        continue
+                    if neighbor == target:
+                        return hops
+                    visited.add(neighbor)
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+        return None
+
+    def is_connected(self) -> bool:
+        """Whether the current graph is a single connected component."""
+        nodes = self.nodes()
+        if len(nodes) <= 1:
+            return True
+        start = nodes[0]
+        visited = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in self.neighbors(node):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append(neighbor)
+        return len(visited) == len(nodes)
+
+
+def grid_spacing_for_8_neighbors(radio_range: float) -> float:
+    """Grid spacing such that diagonal neighbors are just in range.
+
+    With spacing ``s``, the 8 surrounding neighbors lie at distance ``s`` or
+    ``s*sqrt(2)``; the next ring starts at ``2s``.  Any ``s`` with
+    ``range/2 < s <= range/sqrt(2)`` works; we centre the window.
+    """
+    return radio_range / 1.6
+
+
+def build_grid(
+    rows: int,
+    cols: int,
+    radio_range: float = 40.0,
+    spacing: Optional[float] = None,
+    first_id: NodeId = 0,
+) -> Tuple[Topology, List[NodeId]]:
+    """A rows×cols grid where each node reaches its 8 surrounding neighbors.
+
+    Returns:
+        ``(topology, node_ids)`` with node ids assigned row-major.
+    """
+    if rows <= 0 or cols <= 0:
+        raise TopologyError(f"grid must be non-empty, got {rows}x{cols}")
+    if spacing is None:
+        spacing = grid_spacing_for_8_neighbors(radio_range)
+    if spacing * math.sqrt(2) > radio_range:
+        raise TopologyError(
+            f"spacing {spacing} too wide for radio range {radio_range}: "
+            "diagonal neighbors would be out of range"
+        )
+    if 2 * spacing <= radio_range:
+        raise TopologyError(
+            f"spacing {spacing} too tight for radio range {radio_range}: "
+            "nodes two columns away would be in range"
+        )
+    topology = Topology(radio_range)
+    node_ids: List[NodeId] = []
+    node_id = first_id
+    for row in range(rows):
+        for col in range(cols):
+            topology.add_node(node_id, (col * spacing, row * spacing))
+            node_ids.append(node_id)
+            node_id += 1
+    return topology, node_ids
+
+
+def center_node(rows: int, cols: int, node_ids: List[NodeId]) -> NodeId:
+    """The id of the node at the grid centre (the paper's consumer spot)."""
+    return node_ids[(rows // 2) * cols + cols // 2]
+
+
+def center_subgrid(
+    rows: int, cols: int, node_ids: List[NodeId], sub: int = 5
+) -> List[NodeId]:
+    """Node ids of the central ``sub×sub`` subgrid (§VI-A consumer pool)."""
+    sub = min(sub, rows, cols)
+    row0 = (rows - sub) // 2
+    col0 = (cols - sub) // 2
+    picked = []
+    for row in range(row0, row0 + sub):
+        for col in range(col0, col0 + sub):
+            picked.append(node_ids[row * cols + col])
+    return picked

@@ -1,0 +1,129 @@
+"""Wi-Fi Direct multi-group topologies (§V, §VII).
+
+The paper's deployment substrate: commodity phones form single-hop Wi-Fi
+Direct groups (one group owner + clients); selected *bridge* devices sit
+within reach of two adjacent group owners and interconnect the groups into
+a multi-hop network.  PDS runs unchanged on top — the same one-hop UDP
+broadcast with intended-receiver lists — but traffic between groups must
+funnel through the bridges, the load concern §VII raises.
+
+This module generates such topologies geometrically: group owners on a
+grid spaced beyond radio range, clients scattered within their group's
+radius, and one bridge midway between each pair of adjacent owners.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import TopologyError
+from repro.net.topology import NodeId, Topology
+
+
+@dataclass
+class WifiDirectLayout:
+    """A generated multi-group topology plus its role assignment."""
+
+    topology: Topology
+    group_owners: List[NodeId]
+    clients: Dict[NodeId, List[NodeId]] = field(default_factory=dict)
+    bridges: List[NodeId] = field(default_factory=list)
+
+    def all_nodes(self) -> List[NodeId]:
+        nodes = list(self.group_owners)
+        for members in self.clients.values():
+            nodes.extend(members)
+        nodes.extend(self.bridges)
+        return nodes
+
+    def group_of(self, node_id: NodeId) -> NodeId:
+        """The group owner whose group a client belongs to."""
+        for owner, members in self.clients.items():
+            if node_id == owner or node_id in members:
+                return owner
+        raise TopologyError(f"node {node_id} is not an owner or client")
+
+
+def build_wifi_direct_topology(
+    groups_x: int,
+    groups_y: int,
+    clients_per_group: int,
+    rng: random.Random,
+    radio_range: float = 40.0,
+    owner_spacing: float = 70.0,
+) -> WifiDirectLayout:
+    """Generate a ``groups_x × groups_y`` multi-group network.
+
+    Group owners are spaced beyond radio range (groups do not hear each
+    other directly); clients are placed within ``0.6 × radio_range`` of
+    their owner; a bridge sits midway between each horizontally/vertically
+    adjacent owner pair, in range of both.
+
+    Raises:
+        TopologyError: if the spacing cannot both separate owners and let
+            a midway bridge reach them.
+    """
+    if groups_x < 1 or groups_y < 1:
+        raise TopologyError("need at least one group in each dimension")
+    if owner_spacing <= radio_range:
+        raise TopologyError(
+            "owner_spacing must exceed radio_range (separate groups)"
+        )
+    if owner_spacing / 2 > radio_range:
+        raise TopologyError(
+            "owner_spacing/2 must be within radio_range (bridge reach)"
+        )
+
+    topology = Topology(radio_range)
+    next_id = 0
+
+    owners: List[NodeId] = []
+    owner_positions: Dict[NodeId, Tuple[float, float]] = {}
+    for gy in range(groups_y):
+        for gx in range(groups_x):
+            position = (gx * owner_spacing, gy * owner_spacing)
+            topology.add_node(next_id, position)
+            owners.append(next_id)
+            owner_positions[next_id] = position
+            next_id += 1
+
+    clients: Dict[NodeId, List[NodeId]] = {}
+    client_radius = 0.6 * radio_range
+    for owner in owners:
+        ox, oy = owner_positions[owner]
+        members = []
+        for _ in range(clients_per_group):
+            angle = rng.uniform(0, 2 * math.pi)
+            distance = rng.uniform(0, client_radius)
+            position = (
+                ox + distance * math.cos(angle),
+                oy + distance * math.sin(angle),
+            )
+            topology.add_node(next_id, position)
+            members.append(next_id)
+            next_id += 1
+        clients[owner] = members
+
+    bridges: List[NodeId] = []
+    for gy in range(groups_y):
+        for gx in range(groups_x):
+            owner = owners[gy * groups_x + gx]
+            ox, oy = owner_positions[owner]
+            if gx + 1 < groups_x:
+                topology.add_node(next_id, (ox + owner_spacing / 2, oy))
+                bridges.append(next_id)
+                next_id += 1
+            if gy + 1 < groups_y:
+                topology.add_node(next_id, (ox, oy + owner_spacing / 2))
+                bridges.append(next_id)
+                next_id += 1
+
+    return WifiDirectLayout(
+        topology=topology,
+        group_owners=owners,
+        clients=clients,
+        bridges=bridges,
+    )

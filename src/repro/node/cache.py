@@ -1,0 +1,148 @@
+"""Chunk caching policies (§VII future work).
+
+The paper caches *all* metadata (tiny) but notes that data chunks "cannot
+always be cached due to limited storage capacity" and defers popularity-
+and resource-aware policies to future work.  This module implements that
+extension: a bounded chunk cache with three eviction strategies.
+
+Locally produced chunks (inserted via :meth:`Device.add_item` /
+:meth:`Device.add_chunk`) are *pinned* — a device never evicts its own
+data, only opportunistically cached copies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.data.descriptor import DataDescriptor
+from repro.data.item import Chunk
+from repro.data.store import DataStore
+from repro.errors import ConfigurationError
+
+
+class EvictionStrategy(enum.Enum):
+    """How to choose a victim when the cache is full."""
+
+    #: Least recently used (by cache/serve time).
+    LRU = "lru"
+    #: Fewest requests served (the paper's suggested popularity signal).
+    LEAST_POPULAR = "least_popular"
+    #: Largest chunk first (frees space fastest).
+    LARGEST = "largest"
+
+
+@dataclass(frozen=True)
+class CachePolicyConfig:
+    """Bounded-cache knobs.
+
+    Attributes:
+        capacity_bytes: Maximum bytes of *cached* (non-pinned) chunks;
+            ``None`` means unbounded (the paper's evaluation setting).
+        strategy: Eviction strategy when over capacity.
+    """
+
+    capacity_bytes: Optional[int] = None
+    strategy: EvictionStrategy = EvictionStrategy.LRU
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes is not None and self.capacity_bytes < 0:
+            raise ConfigurationError("cache capacity must be >= 0")
+
+
+class ChunkCache:
+    """Eviction manager layered over a device's :class:`DataStore`."""
+
+    def __init__(
+        self,
+        store: DataStore,
+        clock: Callable[[], float],
+        config: Optional[CachePolicyConfig] = None,
+    ) -> None:
+        self.store = store
+        self.clock = clock
+        self.config = config if config is not None else CachePolicyConfig()
+        self._pinned: set = set()
+        self._cached_bytes = 0
+        self._last_used: Dict[DataDescriptor, float] = {}
+        self._popularity: Dict[DataDescriptor, int] = {}
+        self.evictions = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    def pin(self, chunk: Chunk) -> None:
+        """Store a locally produced chunk; never evicted."""
+        self._pinned.add(chunk.descriptor)
+        self.store.insert_chunk(chunk)
+
+    def offer(self, chunk: Chunk) -> bool:
+        """Try to cache an opportunistically received chunk.
+
+        Returns:
+            True if the chunk is now stored (fresh or already present).
+        """
+        descriptor = chunk.descriptor
+        if self.store.has_chunk(descriptor):
+            self.touch(descriptor)
+            return True
+        capacity = self.config.capacity_bytes
+        if capacity is not None:
+            if chunk.size > capacity:
+                self.rejected += 1
+                return False
+            self._evict_until(capacity - chunk.size)
+            if self._cached_bytes + chunk.size > capacity:
+                self.rejected += 1
+                return False
+        self.store.insert_chunk(chunk)
+        self._cached_bytes += chunk.size
+        self._last_used[descriptor] = self.clock()
+        self._popularity.setdefault(descriptor, 0)
+        return True
+
+    def touch(self, descriptor: DataDescriptor) -> None:
+        """Record a use (serve/request) of a stored chunk."""
+        if descriptor in self._last_used:
+            self._last_used[descriptor] = self.clock()
+        self._popularity[descriptor] = self._popularity.get(descriptor, 0) + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes of evictable (non-pinned) chunks currently stored."""
+        return self._cached_bytes
+
+    def _evict_until(self, budget: int) -> None:
+        while self._cached_bytes > budget:
+            victim = self._pick_victim()
+            if victim is None:
+                return
+            chunk = self.store.get_chunk(victim)
+            self.store.remove_chunk(victim)
+            self._last_used.pop(victim, None)
+            self._popularity.pop(victim, None)
+            if chunk is not None:
+                self._cached_bytes -= chunk.size
+            self.evictions += 1
+
+    def _pick_victim(self) -> Optional[DataDescriptor]:
+        candidates: List[DataDescriptor] = [
+            d for d in self._last_used if d not in self._pinned
+        ]
+        if not candidates:
+            return None
+        strategy = self.config.strategy
+        if strategy is EvictionStrategy.LRU:
+            return min(candidates, key=lambda d: self._last_used[d])
+        if strategy is EvictionStrategy.LEAST_POPULAR:
+            return min(
+                candidates,
+                key=lambda d: (self._popularity.get(d, 0), self._last_used[d]),
+            )
+        # LARGEST
+        def size_of(descriptor: DataDescriptor) -> int:
+            chunk = self.store.get_chunk(descriptor)
+            return chunk.size if chunk is not None else 0
+
+        return max(candidates, key=size_of)

@@ -1,0 +1,62 @@
+"""Model of the Android UDP broadcast send path (§V-2).
+
+The paper's measurement: the non-blocking UDP send API copies each message
+into a finite OS buffer that drains at the MAC broadcast rate; when the
+buffer is full, newly arriving messages are *silently* discarded — they are
+never transmitted by the radio at all (validated with Wireshark: the first
+≈658 × 1.5 KB messages arrive everywhere, then losses begin, and lost
+messages are heard by no receiver).
+
+This module parameterises that path.  The mechanics live in
+:class:`repro.net.radio.Radio` (finite ``os_buffer_bytes`` + MAC-rate
+drain); here we define the phone-calibrated constants and a convenience
+config used by the prototype harness and its tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.medium import DEFAULT_BROADCAST_RATE_BPS
+from repro.net.radio import RadioConfig
+
+#: UDP payload used by the prototype measurements (1.5 KB packets, §V-4).
+PROTOTYPE_PACKET_BYTES = 1500
+
+#: The Android OS send buffer: ≈658 packets of 1.5 KB ≈ 1 MB (§V-2).
+ANDROID_OS_BUFFER_BYTES = 1_010_000
+
+#: 802.11n 20 MHz MAC broadcast rate (§V-2).
+ANDROID_MAC_BROADCAST_BPS = DEFAULT_BROADCAST_RATE_BPS
+
+
+def android_radio_config() -> RadioConfig:
+    """Radio configuration matching the measured Android send path."""
+    return RadioConfig(os_buffer_bytes=ANDROID_OS_BUFFER_BYTES)
+
+
+@dataclass(frozen=True)
+class UdpSendModel:
+    """Closed-form expectations of the buffer-overflow behaviour.
+
+    Used by tests to validate the simulated path against the paper's
+    arithmetic rather than against magic constants.
+    """
+
+    os_buffer_bytes: int = ANDROID_OS_BUFFER_BYTES
+    mac_rate_bps: float = ANDROID_MAC_BROADCAST_BPS
+    packet_bytes: int = PROTOTYPE_PACKET_BYTES
+
+    def packets_before_overflow(self) -> int:
+        """How many back-to-back packets fit before the first drop."""
+        return self.os_buffer_bytes // self.packet_bytes
+
+    def steady_state_reception(self, app_rate_bps: float) -> float:
+        """Long-run reception ratio when the app sends at ``app_rate_bps``.
+
+        Once the buffer is full, the OS accepts packets only as fast as the
+        MAC drains them, so reception approaches ``mac_rate / app_rate``.
+        """
+        if app_rate_bps <= self.mac_rate_bps:
+            return 1.0
+        return self.mac_rate_bps / app_rate_bps

@@ -1,0 +1,119 @@
+"""Event objects and the pending-event queue of the discrete-event kernel.
+
+The queue is a binary heap keyed on ``(time, priority, sequence)``.  The
+monotonically increasing sequence number guarantees a stable FIFO order for
+events scheduled at the same instant with the same priority, which keeps
+simulations fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+#: Default priority for events.  Lower values run earlier at equal times.
+DEFAULT_PRIORITY = 0
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events compare by ``(time, priority, sequence)`` so they can live directly
+    in a heap.  The callback and its arguments are excluded from ordering.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """Whether the event will still fire."""
+        return not self.cancelled
+
+    def fire(self) -> None:
+        """Invoke the callback (the simulator calls this; tests may too)."""
+        self.callback(*self.args)
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects.
+
+    Cancelled events are dropped lazily when popped; :meth:`__len__` reports
+    only active events.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._active = 0
+
+    def __len__(self) -> int:
+        return self._active
+
+    def __bool__(self) -> bool:
+        return self._active > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Insert a new event and return it (so callers may cancel it)."""
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            callback=callback,
+            args=args,
+        )
+        heapq.heappush(self._heap, event)
+        self._active += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest active event.
+
+        Raises:
+            SimulationError: if the queue holds no active events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._active -= 1
+            return event
+        raise SimulationError("pop() from an empty event queue")
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._active -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next active event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Discard all pending events."""
+        self._heap.clear()
+        self._active = 0

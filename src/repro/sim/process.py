@@ -1,0 +1,90 @@
+"""Timer helpers layered on top of the simulator.
+
+These wrap the raw event API into the two patterns protocol code needs:
+one-shot restartable timers (ack timeouts, round-silence detection) and
+periodic tasks (mobility steps, controller polling).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.event import Event
+from repro.sim.simulator import Simulator
+
+
+class Timer:
+    """A one-shot timer that can be started, restarted and cancelled.
+
+    Restarting an armed timer cancels the pending expiration first, so the
+    callback fires at most once per :meth:`start`.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether the timer is currently counting down."""
+        return self._event is not None and self._event.active
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicTask:
+    """Invokes a callback every ``interval`` seconds until stopped."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        """Whether the task is currently scheduled."""
+        return self._running
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Begin ticking; first tick after ``initial_delay`` (or interval)."""
+        if self._running:
+            return
+        self._running = True
+        delay = self._interval if initial_delay is None else initial_delay
+        self._event = self._sim.schedule(delay, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking; safe to call when already stopped."""
+        self._running = False
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._event = self._sim.schedule(self._interval, self._tick)
+        self._callback()

@@ -1,0 +1,130 @@
+"""The discrete-event simulator driving every PDS experiment.
+
+The :class:`Simulator` owns the virtual clock and the event queue.  Protocol
+code never sleeps or polls; it schedules callbacks at future virtual times
+with :meth:`Simulator.schedule` (relative delay) or :meth:`Simulator.at`
+(absolute time).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.event import DEFAULT_PRIORITY, Event, EventQueue
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Attributes:
+        now: Current virtual time in seconds.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Raises:
+            SimulationError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self.now + delay, callback, args, priority)
+
+    def at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} which is before now={self.now}"
+            )
+        return self._queue.push(time, callback, args, priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (safe to call more than once)."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Process events in time order.
+
+        Args:
+            until: Stop once the clock would pass this time.  The clock is
+                advanced to ``until`` when the queue drains earlier, so
+                repeated ``run(until=...)`` calls observe monotonic time.
+            max_events: Safety valve; raise after this many events.
+
+        Returns:
+            The number of events processed.
+
+        Raises:
+            SimulationError: on re-entrant calls or when ``max_events`` is hit.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._queue and not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                if event.time < self.now:
+                    raise SimulationError(
+                        f"event queue yielded past event (t={event.time} < now={self.now})"
+                    )
+                self.now = event.time
+                event.fire()
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
+        return processed
+
+    def stop(self) -> None:
+        """Stop the current (or next) :meth:`run` after the active event."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of active events still scheduled."""
+        return len(self._queue)
+
+    def reset(self) -> None:
+        """Clear the queue and rewind the clock (for reuse in tests)."""
+        if self._running:
+            raise SimulationError("cannot reset a running simulator")
+        self._queue.clear()
+        self.now = 0.0
+        self._stopped = False

@@ -1,0 +1,162 @@
+"""Unit tests for the Bloom filter."""
+
+import pytest
+
+from repro.bloom.bloom_filter import (
+    BloomFilter,
+    NullFilter,
+    make_round_filter,
+)
+from repro.errors import ConfigurationError
+
+
+def keys(n, tag=b"k"):
+    return [tag + str(i).encode() for i in range(n)]
+
+
+def test_inserted_keys_are_members():
+    bloom = BloomFilter.for_capacity(100)
+    for key in keys(100):
+        bloom.insert(key)
+    assert all(key in bloom for key in keys(100))
+
+
+def test_empty_filter_has_no_members():
+    bloom = BloomFilter.for_capacity(100)
+    assert not any(key in bloom for key in keys(50))
+
+
+def test_false_positive_rate_near_target():
+    bloom = BloomFilter.for_capacity(500, false_positive_rate=0.01)
+    bloom.insert_all(keys(500))
+    probes = keys(20000, tag=b"other")
+    fp = sum(1 for key in probes if key in bloom)
+    assert fp / len(probes) < 0.03
+
+
+def test_seed_changes_hash_family():
+    a = BloomFilter(256, 4, seed=1)
+    b = BloomFilter(256, 4, seed=2)
+    a.insert(b"x")
+    b.insert(b"x")
+    assert a._bits != b._bits
+
+
+def test_union_update():
+    a = BloomFilter(256, 4, seed=1)
+    b = BloomFilter(256, 4, seed=1)
+    a.insert(b"left")
+    b.insert(b"right")
+    a.union_update(b)
+    assert b"left" in a
+    assert b"right" in a
+
+
+def test_union_requires_same_geometry():
+    a = BloomFilter(256, 4, seed=1)
+    with pytest.raises(ConfigurationError):
+        a.union_update(BloomFilter(128, 4, seed=1))
+    with pytest.raises(ConfigurationError):
+        a.union_update(BloomFilter(256, 3, seed=1))
+    with pytest.raises(ConfigurationError):
+        a.union_update(BloomFilter(256, 4, seed=2))
+
+
+def test_copy_is_independent():
+    a = BloomFilter(256, 4)
+    clone = a.copy()
+    clone.insert(b"x")
+    assert b"x" in clone
+    assert b"x" not in a
+
+
+def test_wire_size_scales_with_bits():
+    small = BloomFilter(64, 2)
+    large = BloomFilter(4096, 2)
+    assert small.wire_size() < large.wire_size()
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ConfigurationError):
+        BloomFilter(0, 1)
+    with pytest.raises(ConfigurationError):
+        BloomFilter(64, 0)
+
+
+def test_fill_ratio_grows_with_inserts():
+    bloom = BloomFilter(512, 4)
+    before = bloom.fill_ratio()
+    bloom.insert_all(keys(50))
+    assert bloom.fill_ratio() > before
+
+
+def test_estimated_fp_rate_monotone():
+    bloom = BloomFilter.for_capacity(100)
+    empty_rate = bloom.estimated_false_positive_rate()
+    bloom.insert_all(keys(100))
+    assert bloom.estimated_false_positive_rate() > empty_rate
+
+
+# ----------------------------------------------------------------------
+# NullFilter
+# ----------------------------------------------------------------------
+def test_null_filter_contains_nothing():
+    null = NullFilter()
+    null.insert(b"x")
+    assert b"x" not in null
+
+
+def test_null_filter_copy_is_self():
+    null = NullFilter()
+    assert null.copy() is null
+
+
+def test_null_filter_wire_size_zero():
+    assert NullFilter().wire_size() == 0
+
+
+# ----------------------------------------------------------------------
+# make_round_filter (§V-3)
+# ----------------------------------------------------------------------
+def test_round_filter_contains_received():
+    received = keys(200)
+    bloom = make_round_filter(received, round_index=1)
+    assert all(key in bloom for key in received)
+
+
+def test_round_filter_seed_is_round_index():
+    assert make_round_filter([], 3).seed == 3
+
+
+def test_round_filter_headroom_prevents_overfill():
+    """En-route insertions must not blow up the false-positive rate."""
+    bloom = make_round_filter(keys(10), round_index=1, headroom=600)
+    # Simulate relays inserting ~300 en-route entries.
+    bloom.insert_all(keys(300, tag=b"enroute"))
+    probes = keys(5000, tag=b"probe")
+    fp = sum(1 for key in probes if key in bloom)
+    assert fp / len(probes) < 0.05
+
+
+def test_round_filter_respects_max_bits():
+    bloom = make_round_filter(keys(10000), round_index=1, max_bits=2048)
+    assert bloom.m_bits == 2048
+
+
+def test_round_filter_fp_decays_across_rounds():
+    """§V-3: different hash families per round shrink persistent FPs."""
+    received = keys(800)
+    probes = keys(4000, tag=b"probe")
+    surviving = list(probes)
+    rates = []
+    for round_index in (1, 2, 3):
+        bloom = make_round_filter(
+            received, round_index, max_bits=2048, headroom=0
+        )
+        surviving = [key for key in surviving if key in bloom]
+        rates.append(len(surviving) / len(probes))
+    # Per-round FP ≈ p each; surviving-after-k-rounds ≈ p^k (geometric
+    # decay, §V-3's "0.003 in 3 rounds" argument).
+    assert rates[1] < rates[0]
+    assert rates[2] < rates[1]
+    assert rates[2] < rates[0] ** 2

@@ -1,0 +1,45 @@
+"""Unit tests for the Bloom hash family."""
+
+from repro.bloom.hashing import _base_hashes, indexes
+
+
+def test_indexes_deterministic():
+    a = list(indexes(b"key", seed=1, k=5, m=1024))
+    b = list(indexes(b"key", seed=1, k=5, m=1024))
+    assert a == b
+
+
+def test_indexes_in_range():
+    for index in indexes(b"key", seed=3, k=16, m=100):
+        assert 0 <= index < 100
+
+
+def test_seed_changes_indexes():
+    a = list(indexes(b"key", seed=1, k=8, m=4096))
+    b = list(indexes(b"key", seed=2, k=8, m=4096))
+    assert a != b
+
+
+def test_different_keys_differ():
+    a = list(indexes(b"key-a", seed=1, k=8, m=4096))
+    b = list(indexes(b"key-b", seed=1, k=8, m=4096))
+    assert a != b
+
+
+def test_stride_is_odd():
+    for key in (b"", b"a", b"abc", b"0" * 100):
+        _, h2 = _base_hashes(key, 7)
+        assert h2 % 2 == 1
+
+
+def test_k_controls_count():
+    assert len(list(indexes(b"k", 0, 3, 64))) == 3
+    assert len(list(indexes(b"k", 0, 9, 64))) == 9
+
+
+def test_dispersion_over_small_table():
+    """The k positions of distinct keys should not all collide."""
+    seen = set()
+    for i in range(100):
+        seen.update(indexes(str(i).encode(), seed=0, k=4, m=512))
+    assert len(seen) > 200

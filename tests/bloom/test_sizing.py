@@ -1,0 +1,57 @@
+"""Unit tests for Bloom filter sizing math."""
+
+import math
+
+import pytest
+
+from repro.bloom.sizing import (
+    MIN_BITS,
+    expected_false_positive_rate,
+    optimal_parameters,
+)
+from repro.errors import ConfigurationError
+
+
+def test_textbook_values():
+    # n=1000, p=0.01 -> m ~ 9586 bits, k ~ 7.
+    m, k = optimal_parameters(1000, 0.01)
+    assert 9500 <= m <= 9700
+    assert k == 7
+
+
+def test_zero_elements_gets_minimal_filter():
+    m, k = optimal_parameters(0)
+    assert m == MIN_BITS
+    assert k == 1
+
+
+def test_bits_scale_linearly_with_elements():
+    m1, _ = optimal_parameters(1000, 0.01)
+    m2, _ = optimal_parameters(2000, 0.01)
+    assert abs(m2 - 2 * m1) < 16
+
+
+def test_lower_fp_needs_more_bits():
+    loose, _ = optimal_parameters(1000, 0.1)
+    tight, _ = optimal_parameters(1000, 0.001)
+    assert tight > loose
+
+
+def test_invalid_rates_rejected():
+    for rate in (0.0, 1.0, -0.5, 2.0):
+        with pytest.raises(ConfigurationError):
+            optimal_parameters(100, rate)
+
+
+def test_expected_fp_rate_empty_is_zero():
+    assert expected_false_positive_rate(1024, 4, 0) == 0.0
+
+
+def test_expected_fp_rate_matches_design_point():
+    m, k = optimal_parameters(1000, 0.01)
+    rate = expected_false_positive_rate(m, k, 1000)
+    assert math.isclose(rate, 0.01, rel_tol=0.35)
+
+
+def test_expected_fp_rate_degenerate_filter():
+    assert expected_false_positive_rate(0, 4, 10) == 1.0

@@ -1,0 +1,99 @@
+"""Unit tests for the min-max GAP assignment heuristic (§IV-B)."""
+
+import random
+
+from repro.core.assignment import assign_chunks, max_load
+
+
+def test_empty_options():
+    assert assign_chunks({}) == {}
+
+
+def test_chunks_without_options_skipped():
+    assignment = assign_chunks({0: [], 1: [(5, 1)]})
+    assert assignment == {5: {1}}
+
+
+def test_every_chunk_assigned_exactly_once():
+    options = {
+        0: [(1, 1), (2, 2)],
+        1: [(1, 1)],
+        2: [(2, 1), (3, 1)],
+        3: [(3, 2), (1, 1)],
+    }
+    assignment = assign_chunks(options)
+    assigned = [c for chunks in assignment.values() for c in chunks]
+    assert sorted(assigned) == [0, 1, 2, 3]
+
+
+def test_assignment_respects_options():
+    options = {0: [(1, 1)], 1: [(2, 1)], 2: [(1, 2), (2, 1)]}
+    assignment = assign_chunks(options)
+    for neighbor, chunks in assignment.items():
+        for chunk in chunks:
+            assert neighbor in {n for n, _ in options[chunk]}
+
+
+def test_single_neighbor_gets_everything():
+    options = {c: [(7, 1)] for c in range(5)}
+    assert assign_chunks(options) == {7: set(range(5))}
+
+
+def test_balances_across_equal_neighbors():
+    """10 chunks, both neighbors at hop 1 → a 5/5 split minimises max load."""
+    options = {c: [(1, 1), (2, 1)] for c in range(10)}
+    assignment = assign_chunks(options)
+    sizes = sorted(len(chunks) for chunks in assignment.values())
+    assert sizes == [5, 5]
+
+
+def test_moves_to_next_smallest_hop_when_overloaded():
+    """The heuristic may move a chunk to a (possibly next-)smallest hop
+    neighbor to lower the maximum load."""
+    # All 4 chunks nearest via neighbor 1 (hop 1); neighbor 2 offers hop 2.
+    options = {c: [(1, 1), (2, 2)] for c in range(4)}
+    assignment = assign_chunks(options)
+    load = max_load(options, assignment)
+    # All-on-1 gives max load 4; moving one chunk to 2 gives max(3, 2)=3,
+    # moving two gives max(2, 4)=4 — so the optimum here is 3.
+    assert load == 3
+
+
+def test_max_load_helper():
+    options = {0: [(1, 2)], 1: [(1, 3)]}
+    assert max_load(options, {1: {0, 1}}) == 5
+    assert max_load(options, {}) == 0
+
+
+def test_deterministic_without_rng():
+    options = {c: [(1, 1), (2, 1), (3, 1)] for c in range(9)}
+    a = assign_chunks(options)
+    b = assign_chunks(options)
+    assert a == b
+
+
+def test_rng_tiebreaks_are_valid():
+    rng = random.Random(3)
+    options = {c: [(1, 1), (2, 1)] for c in range(8)}
+    assignment = assign_chunks(options, rng)
+    assigned = sorted(c for chunks in assignment.values() for c in chunks)
+    assert assigned == list(range(8))
+
+
+def test_heuristic_not_worse_than_greedy_on_random_instances():
+    """The improvement loop must never increase the maximum load."""
+    rng = random.Random(11)
+    for _ in range(25):
+        n_neighbors = rng.randint(1, 6)
+        n_chunks = rng.randint(1, 15)
+        options = {}
+        for c in range(n_chunks):
+            neighbors = rng.sample(range(n_neighbors), rng.randint(1, n_neighbors))
+            options[c] = [(n, rng.randint(1, 4)) for n in neighbors]
+        assignment = assign_chunks(options)
+        # Greedy baseline: everyone at min hop, no balancing.
+        greedy = {}
+        for c, opts in options.items():
+            best = min(opts, key=lambda p: (p[1], p[0]))
+            greedy.setdefault(best[0], set()).add(c)
+        assert max_load(options, assignment) <= max_load(options, greedy)

@@ -1,0 +1,144 @@
+"""Unit tests for chunk cache policies (§VII extension)."""
+
+import pytest
+
+from repro.data.item import make_item
+from repro.data.store import DataStore
+from repro.errors import ConfigurationError
+from repro.node.cache import CachePolicyConfig, ChunkCache, EvictionStrategy
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_cache(capacity=None, strategy=EvictionStrategy.LRU):
+    clock = Clock()
+    store = DataStore(clock)
+    cache = ChunkCache(
+        store, clock, CachePolicyConfig(capacity_bytes=capacity, strategy=strategy)
+    )
+    return cache, store, clock
+
+
+def chunk_of(name, size=1000):
+    return make_item("m", "v", name, size=size, chunk_size=size).chunks()[0]
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        CachePolicyConfig(capacity_bytes=-1)
+
+
+def test_unbounded_cache_accepts_everything():
+    cache, store, _ = make_cache(capacity=None)
+    for i in range(50):
+        assert cache.offer(chunk_of(f"c{i}"))
+    assert store.chunk_count() == 50
+    assert cache.evictions == 0
+
+
+def test_pinned_chunks_never_evicted():
+    cache, store, clock = make_cache(capacity=2000)
+    own = chunk_of("own", 1500)
+    cache.pin(own)
+    for i in range(5):
+        clock.now += 1
+        cache.offer(chunk_of(f"c{i}", 1000))
+    assert store.has_chunk(own.descriptor)
+
+
+def test_lru_evicts_oldest():
+    cache, store, clock = make_cache(capacity=3000)
+    chunks = [chunk_of(f"c{i}", 1000) for i in range(3)]
+    for c in chunks:
+        clock.now += 1
+        cache.offer(c)
+    # Touch c0 so c1 becomes the LRU victim.
+    clock.now += 1
+    cache.touch(chunks[0].descriptor)
+    clock.now += 1
+    cache.offer(chunk_of("new", 1000))
+    assert store.has_chunk(chunks[0].descriptor)
+    assert not store.has_chunk(chunks[1].descriptor)
+    assert cache.evictions == 1
+
+
+def test_least_popular_evicts_cold_chunk():
+    cache, store, clock = make_cache(
+        capacity=3000, strategy=EvictionStrategy.LEAST_POPULAR
+    )
+    hot, cold, warm = (chunk_of(n, 1000) for n in ("hot", "cold", "warm"))
+    for c in (hot, cold, warm):
+        clock.now += 1
+        cache.offer(c)
+    for _ in range(5):
+        cache.touch(hot.descriptor)
+    cache.touch(warm.descriptor)
+    cache.offer(chunk_of("new", 1000))
+    assert not store.has_chunk(cold.descriptor)
+    assert store.has_chunk(hot.descriptor)
+
+
+def test_largest_evicts_biggest():
+    cache, store, clock = make_cache(capacity=4000, strategy=EvictionStrategy.LARGEST)
+    small = chunk_of("small", 500)
+    big = chunk_of("big", 3000)
+    clock.now += 1
+    cache.offer(small)
+    clock.now += 1
+    cache.offer(big)
+    cache.offer(chunk_of("new", 1000))
+    assert not store.has_chunk(big.descriptor)
+    assert store.has_chunk(small.descriptor)
+
+
+def test_oversized_chunk_rejected():
+    cache, store, _ = make_cache(capacity=1000)
+    assert not cache.offer(chunk_of("huge", 2000))
+    assert cache.rejected == 1
+    assert store.chunk_count() == 0
+
+
+def test_reoffer_of_stored_chunk_is_true_and_touches():
+    cache, _, clock = make_cache(capacity=5000)
+    c = chunk_of("c", 1000)
+    cache.offer(c)
+    assert cache.offer(c) is True
+    assert cache.cached_bytes == 1000  # not double counted
+
+
+def test_cached_bytes_tracks_evictions():
+    cache, _, clock = make_cache(capacity=2000)
+    for i in range(4):
+        clock.now += 1
+        cache.offer(chunk_of(f"c{i}", 1000))
+    assert cache.cached_bytes <= 2000
+
+
+def test_device_integration_bounded_cache():
+    from tests.helpers import line_positions, make_net
+    from repro.node.config import DeviceConfig
+
+    config = DeviceConfig(
+        cache=CachePolicyConfig(capacity_bytes=300_000)  # ~1 chunk
+    )
+    net = make_net(line_positions(3), device_config=config)
+    item = make_item("media", "video", "v", size=3 * 256 * 1024)
+    for chunk in item.chunks():
+        net.devices[2].add_chunk(chunk)  # pinned: producer keeps all 3
+    consumer = net.devices[0]
+    from repro.core.consumer import RetrievalSession
+
+    session = RetrievalSession(consumer, item.descriptor)
+    net.sim.schedule(0.0, session.start)
+    net.sim.run(until=120.0)
+    # The consumer pinned its requested chunks: retrieval still completes.
+    assert session.result.completed
+    # The relay's bounded cache held at most its capacity in cached bytes.
+    assert net.devices[1].cache.cached_bytes <= 300_000
+    assert net.devices[1].cache.evictions + net.devices[1].cache.rejected >= 1

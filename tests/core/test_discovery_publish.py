@@ -1,0 +1,124 @@
+"""Unit tests for the publish hook (on_local_data)."""
+
+from repro.bloom.bloom_filter import BloomFilter, NullFilter
+from repro.core.messages import DiscoveryQuery, next_message_id
+from repro.data.descriptor import make_descriptor
+from repro.data.predicate import QuerySpec, eq
+
+from tests.helpers import line_positions, make_net
+
+
+def sample(i=0, data_type="nox"):
+    return make_descriptor("env", data_type, time=float(i))
+
+
+def lingering(node, spec=QuerySpec(), upstream=0, bloom=None, want_payload=False):
+    query = DiscoveryQuery(
+        message_id=next_message_id(),
+        sender_id=upstream,
+        receiver_ids=None,
+        spec=spec,
+        origin_id=upstream,
+        expires_at=1000.0,
+        bloom=bloom if bloom is not None else NullFilter(),
+        want_payload=want_payload,
+    )
+    node.discovery.handle_query(query, addressed=True)
+    return query
+
+
+def spy_responses(net):
+    log = []
+    original = net.medium.transmit
+
+    def hook(frame):
+        if frame.kind == "response":
+            log.append(frame)
+        return original(frame)
+
+    net.medium.transmit = hook
+    return log
+
+
+def test_push_goes_to_matching_lingering_query():
+    net = make_net(line_positions(2))
+    lingering(net.devices[1], upstream=0)
+    responses = spy_responses(net)
+    net.devices[1].add_metadata(sample(1))
+    net.sim.run(until=5.0)
+    pushed = [f for f in responses if f.sender == 1]
+    assert len(pushed) == 1
+    assert sample(1) in pushed[0].payload.entries
+    assert pushed[0].receivers == frozenset({0})
+
+
+def test_push_respects_spec():
+    net = make_net(line_positions(2))
+    lingering(net.devices[1], spec=QuerySpec([eq("data_type", "nox")]), upstream=0)
+    responses = spy_responses(net)
+    net.devices[1].add_metadata(sample(1, "pm25"))
+    net.sim.run(until=5.0)
+    assert not [f for f in responses if f.sender == 1]
+
+
+def test_push_suppressed_by_bloom():
+    net = make_net(line_positions(2))
+    bloom = BloomFilter.for_capacity(10)
+    bloom.insert(sample(1).stable_key())
+    lingering(net.devices[1], upstream=0, bloom=bloom)
+    responses = spy_responses(net)
+    net.devices[1].add_metadata(sample(1))
+    net.sim.run(until=5.0)
+    assert not [f for f in responses if f.sender == 1]
+
+
+def test_push_once_per_entry():
+    net = make_net(line_positions(2))
+    lingering(net.devices[1], upstream=0)
+    responses = spy_responses(net)
+    net.devices[1].add_metadata(sample(1))
+    net.sim.run(until=5.0)
+    net.devices[1].add_metadata(sample(1))  # duplicate production
+    net.sim.run(until=10.0)
+    assert len([f for f in responses if f.sender == 1]) == 1
+
+
+def test_no_push_for_payload_queries():
+    """Small-data (want_payload) queries are answered with payloads on
+    request, not pushed metadata."""
+    net = make_net(line_positions(2))
+    lingering(net.devices[1], upstream=0, want_payload=True)
+    responses = spy_responses(net)
+    net.devices[1].add_metadata(sample(1))
+    net.sim.run(until=5.0)
+    assert not [f for f in responses if f.sender == 1]
+
+
+def test_no_push_to_own_origin_query():
+    net = make_net(line_positions(2))
+    consumer = net.devices[0]
+    consumer.discovery.issue_query(QuerySpec(), NullFilter())
+    net.sim.run(until=2.0)
+    responses = spy_responses(net)
+    consumer.add_metadata(sample(5))  # own production, own query
+    net.sim.run(until=5.0)
+    assert not [f for f in responses if f.sender == 0]
+
+
+def test_expired_lingering_query_not_pushed():
+    net = make_net(line_positions(2))
+    query = DiscoveryQuery(
+        message_id=next_message_id(),
+        sender_id=0,
+        receiver_ids=None,
+        spec=QuerySpec(),
+        origin_id=0,
+        expires_at=1.0,
+        bloom=NullFilter(),
+    )
+    net.devices[1].discovery.handle_query(query, addressed=True)
+    net.sim.run(until=2.0)  # lingering entry now expired
+    responses = spy_responses(net)
+    net.devices[1].add_metadata(sample(1))
+    net.sim.run(until=5.0)
+    assert not [f for f in responses if f.sender == 1]

@@ -1,0 +1,104 @@
+"""Unit tests for flood scoping: hop limits and gossip forwarding."""
+
+import pytest
+
+from repro.bloom.bloom_filter import NullFilter
+from repro.core.messages import DiscoveryQuery
+from repro.data.descriptor import make_descriptor
+from repro.data.predicate import QuerySpec
+from repro.errors import ConfigurationError
+from repro.node.config import DeviceConfig, ProtocolConfig
+
+from tests.helpers import line_positions, make_net
+
+
+def sample(i=0):
+    return make_descriptor("env", "nox", time=float(i))
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(max_query_hops=-1)
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(flood_probability=1.5)
+
+
+def test_hop_count_increments_per_forward():
+    query = DiscoveryQuery(
+        message_id=1, sender_id=0, receiver_ids=None, bloom=NullFilter()
+    )
+    assert query.hop_count == 0
+    fwd = query.rewritten(sender_id=1, receiver_ids=None)
+    assert fwd.hop_count == 1
+    assert fwd.rewritten(sender_id=2, receiver_ids=None).hop_count == 2
+
+
+def test_hop_limit_bounds_discovery_radius():
+    """With max_query_hops=1 the query reaches 2 hops of nodes: the
+    consumer's transmission (hop 0->1) plus one forward (hop 1->2)."""
+    config = DeviceConfig(protocol=ProtocolConfig(max_query_hops=1))
+    net = make_net(line_positions(5), device_config=config)
+    near, far = sample(1), sample(2)
+    net.devices[2].add_metadata(near)  # 2 hops away: reachable
+    net.devices[4].add_metadata(far)  # 4 hops away: out of scope
+    consumer = net.devices[0]
+    consumer.discovery.issue_query(QuerySpec(), NullFilter())
+    net.sim.run(until=20.0)
+    assert consumer.store.has_metadata(near)
+    assert not consumer.store.has_metadata(far)
+
+
+def test_unlimited_hops_reaches_everything():
+    net = make_net(line_positions(5))
+    far = sample(2)
+    net.devices[4].add_metadata(far)
+    consumer = net.devices[0]
+    consumer.discovery.issue_query(QuerySpec(), NullFilter())
+    net.sim.run(until=20.0)
+    assert consumer.store.has_metadata(far)
+
+
+def test_hop_limit_applies_to_cdi_queries():
+    from repro.data.item import make_item
+
+    config = DeviceConfig(protocol=ProtocolConfig(max_query_hops=1))
+    net = make_net(line_positions(5), device_config=config)
+    item = make_item("media", "video", "v", size=256 * 1024)
+    net.devices[4].add_chunk(item.chunks()[0])
+    consumer = net.devices[0]
+    consumer.cdi.issue_query(item.descriptor)
+    net.sim.run(until=20.0)
+    assert consumer.cdi_table.best_hop(item.descriptor, 0) is None
+
+
+def test_gossip_probability_zero_stops_at_first_hop():
+    config = DeviceConfig(protocol=ProtocolConfig(flood_probability=0.0))
+    net = make_net(line_positions(4), device_config=config)
+    net.devices[1].add_metadata(sample(1))
+    net.devices[3].add_metadata(sample(3))
+    consumer = net.devices[0]
+    consumer.discovery.issue_query(QuerySpec(), NullFilter())
+    net.sim.run(until=20.0)
+    # Direct neighbors still answer (they received the consumer's own
+    # transmission); nothing beyond ever saw the query.
+    assert consumer.store.has_metadata(sample(1))
+    assert not consumer.store.has_metadata(sample(3))
+
+
+def test_gossip_probability_one_is_full_flood():
+    config = DeviceConfig(protocol=ProtocolConfig(flood_probability=1.0))
+    net = make_net(line_positions(4), device_config=config)
+    net.devices[3].add_metadata(sample(3))
+    consumer = net.devices[0]
+    consumer.discovery.issue_query(QuerySpec(), NullFilter())
+    net.sim.run(until=20.0)
+    assert consumer.store.has_metadata(sample(3))
+
+
+def test_may_forward_flood_is_probabilistic():
+    config = DeviceConfig(protocol=ProtocolConfig(flood_probability=0.5))
+    net = make_net(line_positions(1), device_config=config)
+    device = net.devices[0]
+    draws = [device.may_forward_flood(0) for _ in range(400)]
+    forwarded = sum(draws)
+    assert 100 < forwarded < 300

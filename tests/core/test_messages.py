@@ -1,0 +1,187 @@
+"""Unit tests for PDS message types and rewriting semantics."""
+
+from repro.bloom.bloom_filter import BloomFilter, NullFilter
+from repro.core.messages import (
+    CdiQuery,
+    CdiResponse,
+    ChunkQuery,
+    ChunkResponse,
+    DiscoveryQuery,
+    DiscoveryResponse,
+    MdrQuery,
+    next_message_id,
+)
+from repro.data.descriptor import make_descriptor
+from repro.data.item import make_item
+from repro.data.predicate import QuerySpec, eq
+
+
+def item_descriptor():
+    return make_item("media", "video", "v", size=600_000).descriptor
+
+
+def test_message_ids_unique():
+    ids = {next_message_id() for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_discovery_query_rewrite_preserves_id_and_spec():
+    query = DiscoveryQuery(
+        message_id=next_message_id(),
+        sender_id=1,
+        receiver_ids=None,
+        spec=QuerySpec([eq("t", "nox")]),
+        origin_id=1,
+        expires_at=30.0,
+    )
+    rewritten = query.rewritten(sender_id=2, receiver_ids=None)
+    assert rewritten.message_id == query.message_id
+    assert rewritten.sender_id == 2
+    assert rewritten.spec == query.spec
+    assert query.sender_id == 1  # original untouched
+
+
+def test_discovery_query_rewrite_can_swap_bloom():
+    bloom = BloomFilter(64, 2)
+    query = DiscoveryQuery(
+        message_id=1, sender_id=1, receiver_ids=None, bloom=NullFilter()
+    )
+    rewritten = query.rewritten(sender_id=2, receiver_ids=None, bloom=bloom)
+    assert rewritten.bloom is bloom
+    assert isinstance(query.bloom, NullFilter)
+
+
+def test_discovery_query_wire_size_includes_bloom():
+    small = DiscoveryQuery(
+        message_id=1, sender_id=1, receiver_ids=None, bloom=NullFilter()
+    )
+    big = DiscoveryQuery(
+        message_id=1, sender_id=1, receiver_ids=None, bloom=BloomFilter(8192, 4)
+    )
+    assert big.wire_size() > small.wire_size() + 1000
+
+
+def test_discovery_response_rewrite_keeps_id():
+    """Algorithm 2's RR Lookup dedups relayed copies by response id."""
+    d = make_descriptor("env", "nox", time=1.0)
+    response = DiscoveryResponse(
+        message_id=77, sender_id=1, receiver_ids=frozenset({2}), entries=(d,)
+    )
+    relayed = response.rewritten(
+        sender_id=2, receiver_ids=frozenset({3}), entries=(d,)
+    )
+    assert relayed.message_id == 77
+    assert relayed.sender_id == 2
+
+
+def test_discovery_response_wire_size_counts_entries_and_payloads():
+    d = make_descriptor("env", "nox", time=1.0)
+    chunk = make_item("m", "v", "x", size=5000).chunks()[0]
+    meta_only = DiscoveryResponse(
+        message_id=1, sender_id=1, receiver_ids=frozenset({2}), entries=(d,)
+    )
+    with_payload = DiscoveryResponse(
+        message_id=1,
+        sender_id=1,
+        receiver_ids=frozenset({2}),
+        payloads=(chunk,),
+    )
+    assert with_payload.wire_size() > meta_only.wire_size() + 4000
+
+
+def test_receiver_list_costs_bytes():
+    d = make_descriptor("env", "nox")
+    one = DiscoveryResponse(
+        message_id=1, sender_id=1, receiver_ids=frozenset({2}), entries=(d,)
+    )
+    three = DiscoveryResponse(
+        message_id=1, sender_id=1, receiver_ids=frozenset({2, 3, 4}), entries=(d,)
+    )
+    assert three.wire_size() == one.wire_size() + 8
+
+
+def test_cdi_query_rewrite():
+    q = CdiQuery(
+        message_id=5, sender_id=1, receiver_ids=None, item=item_descriptor()
+    )
+    r = q.rewritten(sender_id=9, receiver_ids=None)
+    assert r.message_id == 5
+    assert r.sender_id == 9
+    assert r.item == q.item
+
+
+def test_cdi_response_rewrite_updates_pairs_keeps_id():
+    resp = CdiResponse(
+        message_id=6,
+        sender_id=1,
+        receiver_ids=frozenset({2}),
+        item=item_descriptor(),
+        pairs=((0, 0), (1, 2)),
+    )
+    relayed = resp.rewritten(
+        sender_id=2, receiver_ids=frozenset({3}), pairs=((0, 1),)
+    )
+    assert relayed.message_id == 6
+    assert relayed.pairs == ((0, 1),)
+
+
+def test_cdi_response_wire_size_scales_with_pairs():
+    base = CdiResponse(
+        message_id=1, sender_id=1, receiver_ids=frozenset({2}),
+        item=item_descriptor(), pairs=(),
+    )
+    four = CdiResponse(
+        message_id=1, sender_id=1, receiver_ids=frozenset({2}),
+        item=item_descriptor(), pairs=((0, 0), (1, 1), (2, 2), (3, 3)),
+    )
+    assert four.wire_size() == base.wire_size() + 16
+
+
+def test_chunk_query_divided_gets_new_id():
+    q = ChunkQuery(
+        message_id=next_message_id(),
+        sender_id=1,
+        receiver_ids=frozenset({2}),
+        item=item_descriptor(),
+        chunk_ids=frozenset({0, 1, 2}),
+        origin_id=1,
+    )
+    sub = q.divided(sender_id=2, receiver=5, chunk_ids=frozenset({1}))
+    assert sub.message_id != q.message_id
+    assert sub.receiver_ids == frozenset({5})
+    assert sub.chunk_ids == frozenset({1})
+    assert sub.origin_id == 1
+
+
+def test_chunk_response_wire_size_includes_payload():
+    chunk = make_item("m", "v", "x", size=256 * 1024).chunks()[0]
+    resp = ChunkResponse(
+        message_id=1, sender_id=1, receiver_ids=frozenset({2}), chunk=chunk
+    )
+    assert resp.wire_size() > 256 * 1024
+
+
+def test_mdr_query_bitmap_cost():
+    few = MdrQuery(
+        message_id=1, sender_id=1, receiver_ids=None,
+        item=item_descriptor(), total_chunks=8,
+    )
+    many = MdrQuery(
+        message_id=1, sender_id=1, receiver_ids=None,
+        item=item_descriptor(), total_chunks=800,
+    )
+    assert many.wire_size() == few.wire_size() + 99
+
+
+def test_mdr_query_rewrite_extends_have_set():
+    q = MdrQuery(
+        message_id=1, sender_id=1, receiver_ids=None,
+        item=item_descriptor(), total_chunks=10,
+        have_chunk_ids=frozenset({1}),
+    )
+    r = q.rewritten(
+        sender_id=2, receiver_ids=None, have_chunk_ids=frozenset({1, 2, 3})
+    )
+    assert r.message_id == q.message_id
+    assert r.have_chunk_ids == frozenset({1, 2, 3})
+    assert q.have_chunk_ids == frozenset({1})

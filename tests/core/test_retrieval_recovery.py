@@ -1,0 +1,109 @@
+"""Recovery-path tests for PDR: stalls, CDI refresh, expired routes."""
+
+from repro.core.consumer import RetrievalSession
+from repro.core.rounds import RoundConfig
+from repro.data.item import make_item
+from repro.node.config import DeviceConfig, ProtocolConfig
+
+from tests.helpers import line_positions, make_net
+
+
+def test_stall_triggers_rerequest_and_completes():
+    """A lossy path stalls the first attempt; re-requests finish the job."""
+    net = make_net(line_positions(3), seed=5, base_loss=0.25)
+    item = make_item("media", "video", "v", size=6 * 256 * 1024)
+    for chunk in item.chunks():
+        net.devices[2].add_chunk(chunk)
+    session = RetrievalSession(
+        net.devices[0],
+        item.descriptor,
+        stall_timeout_s=3.0,
+        max_attempts=20,
+    )
+    net.sim.schedule(0.0, session.start)
+    net.sim.run(until=600.0)
+    assert session.result.completed
+
+
+def test_cdi_refresh_after_route_expiry():
+    """CDI entries expire; the session re-runs phase 1 and still completes."""
+    config = DeviceConfig(protocol=ProtocolConfig(cdi_ttl_s=2.0))
+    net = make_net(line_positions(3), device_config=config)
+    item = make_item("media", "video", "v", size=2 * 256 * 1024)
+    for chunk in item.chunks():
+        net.devices[2].add_chunk(chunk)
+    consumer = net.devices[0]
+    # Warm CDI, then let it expire before retrieving.
+    consumer.cdi.issue_query(item.descriptor)
+    net.sim.run(until=10.0)  # > cdi_ttl_s: routes now stale
+    assert consumer.cdi_table.best_hop(item.descriptor, 0) is None
+    session = RetrievalSession(consumer, item.descriptor)
+    net.sim.schedule(net.sim.now, session.start)
+    net.sim.run(until=net.sim.now + 120.0)
+    assert session.result.completed
+    assert session.phase == "done"
+
+
+def test_partial_initial_possession():
+    """A consumer already holding some chunks fetches only the rest."""
+    net = make_net(line_positions(2))
+    item = make_item("media", "video", "v", size=4 * 256 * 1024)
+    chunks = item.chunks()
+    consumer = net.devices[0]
+    consumer.add_chunk(chunks[0])
+    consumer.add_chunk(chunks[2])
+    for chunk in chunks:
+        net.devices[1].add_chunk(chunk)
+
+    fetched = []
+    original = net.medium.transmit
+
+    def spy(frame):
+        from repro.core.messages import ChunkResponse
+
+        if isinstance(frame.payload, ChunkResponse):
+            fetched.append(frame.payload.chunk.chunk_id)
+        return original(frame)
+
+    net.medium.transmit = spy
+    session = RetrievalSession(consumer, item.descriptor)
+    net.sim.schedule(0.0, session.start)
+    net.sim.run(until=120.0)
+    assert session.result.completed
+    assert set(fetched) == {1, 3}  # only the missing chunks moved
+
+
+def test_cdi_round_config_controls_phase1_duration():
+    net = make_net(line_positions(2))
+    item = make_item("media", "video", "v", size=256 * 1024)
+    net.devices[1].add_chunk(item.chunks()[0])
+    short = RetrievalSession(
+        net.devices[0],
+        item.descriptor,
+        round_config=RoundConfig(window_s=0.4),
+    )
+    net.sim.schedule(0.0, short.start)
+    net.sim.run(until=60.0)
+    assert short.result.completed
+    # Phase 1 (CDI silence detection) plus one chunk: comfortably fast.
+    assert short.result.finished_at < 10.0
+
+
+def test_mdr_empty_round_accounting():
+    """MDR tracks consecutive empty rounds and stops at the limit."""
+    from repro.core.consumer import MdrSession
+
+    net = make_net(line_positions(2))
+    item = make_item("media", "video", "v", size=2 * 256 * 1024)
+    net.devices[1].add_chunk(item.chunks()[0])  # chunk 1 does not exist
+    session = MdrSession(
+        net.devices[0],
+        item.descriptor,
+        round_config=RoundConfig(window_s=1.0),
+        max_empty_rounds=2,
+    )
+    net.sim.schedule(0.0, session.start)
+    net.sim.run(until=300.0)
+    assert session.done
+    assert not session.result.completed
+    assert session.have == {0}

@@ -1,0 +1,128 @@
+"""Unit tests for the multi-round controller (§III-B-2)."""
+
+import pytest
+
+from repro.core.rounds import RoundConfig, RoundController
+from repro.errors import ConfigurationError
+
+
+def make(sim, on_end, **kwargs):
+    return RoundController(sim, RoundConfig(**kwargs), on_end)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        RoundConfig(window_s=0)
+    with pytest.raises(ConfigurationError):
+        RoundConfig(stop_ratio=1.0)
+    with pytest.raises(ConfigurationError):
+        RoundConfig(continue_ratio=-0.1)
+    with pytest.raises(ConfigurationError):
+        RoundConfig(check_interval_s=0)
+
+
+def test_round_ends_after_window_of_silence(sim):
+    ends = []
+    controller = make(sim, lambda: ends.append(sim.now), window_s=1.0)
+    controller.begin_round()
+    sim.run(until=5.0)
+    assert len(ends) == 1
+    assert 1.0 <= ends[0] <= 1.5  # first check at/after the window
+
+
+def test_responses_extend_the_round(sim):
+    ends = []
+    controller = make(sim, lambda: ends.append(sim.now), window_s=1.0)
+    controller.begin_round()
+    for t in (0.5, 1.2, 1.9):
+        sim.schedule(t, controller.record_response)
+    sim.run(until=10.0)
+    assert len(ends) == 1
+    # Silence starts at 1.9 → end no earlier than 2.9.
+    assert ends[0] >= 2.9
+
+
+def test_round_index_increments(sim):
+    controller = make(sim, lambda: None)
+    assert controller.begin_round() == 1
+    assert controller.begin_round() == 2
+    assert controller.round_index == 2
+
+
+def test_stop_ratio_zero_requires_empty_window(sim):
+    """T_r = 0: the round ends only when *no* response fell in the window."""
+    ends = []
+    controller = make(sim, lambda: ends.append(sim.now), window_s=1.0)
+    controller.begin_round()
+    # Steady stream every 0.5 s keeps the round alive.
+    for i in range(10):
+        sim.schedule(0.5 * i, controller.record_response)
+    sim.run(until=4.0)
+    assert ends == []
+    sim.run(until=10.0)
+    assert len(ends) == 1
+
+
+def test_higher_stop_ratio_ends_rounds_earlier(sim):
+    early_ends, late_ends = [], []
+    aggressive = make(sim, lambda: early_ends.append(sim.now), window_s=1.0,
+                      stop_ratio=0.5)
+    patient = make(sim, lambda: late_ends.append(sim.now), window_s=1.0,
+                   stop_ratio=0.0)
+    aggressive.begin_round()
+    patient.begin_round()
+    for t in (0.1, 0.2, 0.3, 1.4):
+        sim.schedule(t, aggressive.record_response)
+        sim.schedule(t, patient.record_response)
+    sim.run(until=10.0)
+    assert early_ends and late_ends
+    assert early_ends[0] < late_ends[0]
+
+
+def test_should_start_new_round_continue_rule():
+    """Continue iff new/total > T_d (§III-B-2)."""
+    import repro.sim.simulator as s
+
+    sim = s.Simulator()
+    controller = make(sim, lambda: None, continue_ratio=0.0)
+    controller.begin_round()
+    assert controller.should_start_new_round(1, 100) is True
+    assert controller.should_start_new_round(0, 100) is False
+    assert controller.should_start_new_round(0, 0) is False
+
+
+def test_continue_ratio_threshold():
+    import repro.sim.simulator as s
+
+    sim = s.Simulator()
+    controller = make(sim, lambda: None, continue_ratio=0.3)
+    controller.begin_round()
+    assert controller.should_start_new_round(31, 100) is True
+    assert controller.should_start_new_round(30, 100) is False
+
+
+def test_max_rounds_cap():
+    import repro.sim.simulator as s
+
+    sim = s.Simulator()
+    controller = make(sim, lambda: None, max_rounds=2)
+    controller.begin_round()
+    assert controller.should_start_new_round(50, 100) is True
+    controller.begin_round()
+    assert controller.should_start_new_round(50, 100) is False
+
+
+def test_stop_prevents_further_end_callbacks(sim):
+    ends = []
+    controller = make(sim, lambda: ends.append(sim.now))
+    controller.begin_round()
+    controller.stop()
+    sim.run(until=10.0)
+    assert ends == []
+    assert not controller.active
+
+
+def test_record_response_ignored_when_inactive(sim):
+    controller = make(sim, lambda: None)
+    controller.record_response()  # no crash before begin_round
+    assert controller._arrivals == []

@@ -1,0 +1,133 @@
+"""Tests for the subscription extension (standing lingering queries)."""
+
+import pytest
+
+from repro.core.subscription import SubscriptionSession
+from repro.data.descriptor import make_descriptor
+from repro.data.predicate import QuerySpec, eq
+from repro.errors import ConfigurationError
+
+from tests.helpers import line_positions, make_net
+
+
+def sample(i=0, data_type="nox"):
+    return make_descriptor("env", data_type, time=float(i))
+
+
+def test_initial_data_delivered():
+    net = make_net(line_positions(2))
+    net.devices[1].add_metadata(sample(0))
+    delivered = []
+    session = SubscriptionSession(net.devices[0], on_entry=delivered.append)
+    net.sim.schedule(0.0, session.start)
+    net.sim.run(until=10.0)
+    assert sample(0) in delivered
+
+
+def test_newly_produced_data_pushed_without_new_query():
+    """Data produced AFTER the subscription arrives via the standing
+    lingering query — the §IV growing-data scenario."""
+    net = make_net(line_positions(3))
+    delivered = []
+    session = SubscriptionSession(net.devices[0], on_entry=delivered.append)
+    net.sim.schedule(0.0, session.start)
+    # Produce at the far node at t=5 (well after the query flooded).
+    net.sim.schedule(5.0, lambda: net.devices[2].add_metadata(sample(1)))
+    queries = []
+    original = net.medium.transmit
+
+    def spy(frame):
+        if frame.kind == "query" and net.sim.now > 1.0:
+            queries.append(frame)
+        return original(frame)
+
+    net.medium.transmit = spy
+    net.sim.run(until=20.0)
+    assert sample(1) in delivered
+    # No re-query was needed within the lease (only the initial flood).
+    assert queries == []
+
+
+def test_spec_filters_pushes():
+    net = make_net(line_positions(2))
+    delivered = []
+    session = SubscriptionSession(
+        net.devices[0],
+        spec=QuerySpec([eq("data_type", "nox")]),
+        on_entry=delivered.append,
+    )
+    net.sim.schedule(0.0, session.start)
+    net.sim.schedule(2.0, lambda: net.devices[1].add_metadata(sample(1, "nox")))
+    net.sim.schedule(2.0, lambda: net.devices[1].add_metadata(sample(2, "pm25")))
+    net.sim.run(until=20.0)
+    assert sample(1, "nox") in delivered
+    assert sample(2, "pm25") not in delivered
+
+
+def test_each_entry_delivered_once():
+    net = make_net(line_positions(2))
+    delivered = []
+    session = SubscriptionSession(net.devices[0], on_entry=delivered.append)
+    net.sim.schedule(0.0, session.start)
+    net.sim.schedule(2.0, lambda: net.devices[1].add_metadata(sample(1)))
+    net.sim.schedule(4.0, lambda: net.devices[1].add_metadata(sample(1)))
+    net.sim.run(until=20.0)
+    assert delivered.count(sample(1)) == 1
+
+
+def test_renewal_keeps_subscription_alive_past_lease():
+    net = make_net(line_positions(3))
+    delivered = []
+    session = SubscriptionSession(
+        net.devices[0], on_entry=delivered.append, lease_s=5.0
+    )
+    net.sim.schedule(0.0, session.start)
+    # Produced long after the first lease would have expired.
+    net.sim.schedule(18.0, lambda: net.devices[2].add_metadata(sample(9)))
+    net.sim.run(until=40.0)
+    assert session.renewals >= 3
+    assert sample(9) in delivered
+
+
+def test_stop_ends_delivery():
+    net = make_net(line_positions(2))
+    delivered = []
+    session = SubscriptionSession(
+        net.devices[0], on_entry=delivered.append, lease_s=5.0
+    )
+    net.sim.schedule(0.0, session.start)
+    net.sim.schedule(1.0, session.stop)
+    # Produced after stop AND after the lingering query expired.
+    net.sim.schedule(10.0, lambda: net.devices[1].add_metadata(sample(3)))
+    net.sim.run(until=30.0)
+    assert sample(3) not in delivered
+    assert not session.active
+
+
+def test_double_start_rejected():
+    net = make_net(line_positions(2))
+    session = SubscriptionSession(net.devices[0])
+    net.sim.schedule(0.0, session.start)
+    net.sim.run(until=1.0)
+    with pytest.raises(ConfigurationError):
+        session.start()
+
+
+def test_bad_lease_rejected():
+    net = make_net(line_positions(2))
+    with pytest.raises(ConfigurationError):
+        SubscriptionSession(net.devices[0], lease_s=0)
+
+
+def test_two_subscribers_share_pushes():
+    """Mixedcast applies to pushes too: one producer, two subscribers."""
+    net = make_net({0: (0.0, 0.0), 1: (30.0, 0.0), 2: (30.0, 30.0)})
+    got_a, got_b = [], []
+    sa = SubscriptionSession(net.devices[0], on_entry=got_a.append)
+    sb = SubscriptionSession(net.devices[2], on_entry=got_b.append)
+    net.sim.schedule(0.0, sa.start)
+    net.sim.schedule(0.0, sb.start)
+    net.sim.schedule(3.0, lambda: net.devices[1].add_metadata(sample(5)))
+    net.sim.run(until=20.0)
+    assert sample(5) in got_a
+    assert sample(5) in got_b

@@ -1,0 +1,59 @@
+"""Unit tests for attribute values and wire sizing."""
+
+import pytest
+
+from repro.data.attributes import (
+    validate_value,
+    values_comparable,
+    wire_size,
+)
+from repro.errors import DataModelError
+
+
+def test_validate_accepts_primitives():
+    for value in ("s", 1, 2.5, True, False):
+        assert validate_value(value) == value
+
+
+def test_validate_rejects_containers():
+    for bad in ([1], {"a": 1}, (1,), None, object()):
+        with pytest.raises(DataModelError):
+            validate_value(bad)
+
+
+def test_values_comparable_strings_with_strings():
+    assert values_comparable("a", "b")
+    assert not values_comparable("a", 1)
+    assert not values_comparable(1, "a")
+
+
+def test_values_comparable_numbers_and_bools():
+    assert values_comparable(1, 2.5)
+    assert values_comparable(True, 0)
+
+
+def test_wire_size_numeric_is_compact():
+    # 2-byte attribute id + 4-byte numeric.
+    assert wire_size("time", 12.5) == 6
+    assert wire_size("x", 3) == 6
+
+
+def test_wire_size_bool():
+    assert wire_size("flag", True) == 3
+
+
+def test_wire_size_string_scales_with_length():
+    assert wire_size("t", "ab") == 2 + 2 + 1
+    assert wire_size("t", "abcd") == 2 + 4 + 1
+
+
+def test_sample_entry_is_about_thirty_bytes():
+    """The paper's metadata entries are ~30 bytes (§VI-A)."""
+    total = (
+        wire_size("namespace", "env")
+        + wire_size("data_type", "nox")
+        + wire_size("time", 1.0)
+        + wire_size("location_x", 2.0)
+        + wire_size("location_y", 3.0)
+    )
+    assert 25 <= total <= 35

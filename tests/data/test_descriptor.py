@@ -1,0 +1,111 @@
+"""Unit tests for data descriptors."""
+
+import pytest
+
+from repro.data import attributes as attr
+from repro.data.descriptor import DataDescriptor, make_descriptor
+from repro.errors import DataModelError
+
+
+def sample():
+    return make_descriptor("env", "nox", time=1.0, location_x=2.0)
+
+
+def test_equality_is_structural():
+    assert sample() == sample()
+    assert hash(sample()) == hash(sample())
+
+
+def test_inequality_on_any_attribute():
+    assert sample() != sample().with_attributes(time=2.0)
+
+
+def test_attribute_order_does_not_matter():
+    a = DataDescriptor({"x": 1, "y": 2})
+    b = DataDescriptor({"y": 2, "x": 1})
+    assert a == b
+    assert a.stable_key() == b.stable_key()
+
+
+def test_empty_descriptor_rejected():
+    with pytest.raises(DataModelError):
+        DataDescriptor({})
+
+
+def test_bad_attribute_name_rejected():
+    with pytest.raises(DataModelError):
+        DataDescriptor({"": 1})
+
+
+def test_bad_value_rejected():
+    with pytest.raises(DataModelError):
+        DataDescriptor({"x": [1, 2]})
+
+
+def test_get_and_contains():
+    d = sample()
+    assert d.get(attr.NAMESPACE) == "env"
+    assert d.get("missing") is None
+    assert d.get("missing", 7) == 7
+    assert attr.DATA_TYPE in d
+    assert "missing" not in d
+
+
+def test_with_attributes_does_not_mutate():
+    d = sample()
+    extended = d.with_attributes(extra=1)
+    assert "extra" not in d
+    assert extended.get("extra") == 1
+
+
+def test_without_attributes():
+    d = sample().without_attributes("time")
+    assert "time" not in d
+
+
+def test_chunk_descriptor_roundtrip():
+    d = sample()
+    chunk = d.chunk_descriptor(3)
+    assert chunk.is_chunk
+    assert chunk.chunk_id == 3
+    assert not d.is_chunk
+    assert chunk.item_descriptor() == d
+
+
+def test_item_descriptor_of_non_chunk_is_self():
+    d = sample()
+    assert d.item_descriptor() == d
+
+
+def test_stable_key_distinguishes_types():
+    a = DataDescriptor({"v": 1})
+    b = DataDescriptor({"v": "1"})
+    assert a.stable_key() != b.stable_key()
+
+
+def test_stable_key_distinguishes_int_float_despite_equality():
+    a = DataDescriptor({"v": 1})
+    b = DataDescriptor({"v": 1.0})
+    assert a.stable_key() != b.stable_key()
+
+
+def test_wire_size_positive_and_additive():
+    d = sample()
+    bigger = d.with_attributes(more=1.0)
+    assert 0 < d.wire_size() < bigger.wire_size()
+
+
+def test_names_sorted():
+    d = DataDescriptor({"b": 1, "a": 2, "c": 3})
+    assert d.names() == ("a", "b", "c")
+
+
+def test_as_dict_is_copy():
+    d = sample()
+    mapping = d.as_dict()
+    mapping["time"] = 999
+    assert d.get("time") == 1.0
+
+
+def test_repr_contains_attributes():
+    assert "namespace" in repr(sample())

@@ -1,0 +1,95 @@
+"""Unit tests for data items and chunking."""
+
+import pytest
+
+from repro.data import attributes as attr
+from repro.data.descriptor import make_descriptor
+from repro.data.item import DEFAULT_CHUNK_SIZE, Chunk, DataItem, make_item
+from repro.errors import DataModelError
+
+
+def test_default_chunk_size_is_256kb():
+    assert DEFAULT_CHUNK_SIZE == 256 * 1024
+
+
+def test_small_item_is_single_chunk():
+    item = make_item("media", "photo", "p1", size=100_000)
+    assert item.total_chunks == 1
+    chunks = item.chunks()
+    assert len(chunks) == 1
+    assert chunks[0].size == 100_000
+
+
+def test_exact_multiple_chunking():
+    item = make_item("media", "video", "v", size=4 * DEFAULT_CHUNK_SIZE)
+    assert item.total_chunks == 4
+    assert all(c.size == DEFAULT_CHUNK_SIZE for c in item.chunks())
+
+
+def test_last_chunk_carries_remainder():
+    item = make_item("media", "video", "v", size=DEFAULT_CHUNK_SIZE + 1000)
+    chunks = item.chunks()
+    assert [c.size for c in chunks] == [DEFAULT_CHUNK_SIZE, 1000]
+
+
+def test_chunk_sizes_sum_to_item_size():
+    item = make_item("media", "video", "v", size=20 * 1024 * 1024 + 17)
+    assert sum(c.size for c in item.chunks()) == item.size
+
+
+def test_chunk_ids_sequential():
+    item = make_item("media", "video", "v", size=3 * DEFAULT_CHUNK_SIZE)
+    assert [c.chunk_id for c in item.chunks()] == [0, 1, 2]
+
+
+def test_descriptor_carries_total_chunks():
+    item = make_item("media", "video", "v", size=5 * DEFAULT_CHUNK_SIZE)
+    assert item.descriptor.get(attr.TOTAL_CHUNKS) == 5
+
+
+def test_single_chunk_accessor_matches_chunks_list():
+    item = make_item("media", "video", "v", size=2 * DEFAULT_CHUNK_SIZE + 5)
+    for chunk in item.chunks():
+        assert item.chunk(chunk.chunk_id) == chunk
+
+
+def test_chunk_out_of_range_rejected():
+    item = make_item("media", "video", "v", size=DEFAULT_CHUNK_SIZE)
+    with pytest.raises(DataModelError):
+        item.chunk(1)
+    with pytest.raises(DataModelError):
+        item.chunk(-1)
+
+
+def test_chunk_item_descriptor_strips_chunk_id():
+    item = make_item("media", "video", "v", size=2 * DEFAULT_CHUNK_SIZE)
+    chunk = item.chunks()[1]
+    assert chunk.item_descriptor == item.descriptor
+
+
+def test_nonpositive_size_rejected():
+    with pytest.raises(DataModelError):
+        make_item("m", "v", "x", size=0)
+
+
+def test_custom_chunk_size():
+    item = make_item("m", "v", "x", size=1000, chunk_size=300)
+    assert item.total_chunks == 4
+    assert [c.size for c in item.chunks()] == [300, 300, 300, 100]
+
+
+def test_chunk_requires_chunk_descriptor():
+    plain = make_descriptor("m", "v")
+    with pytest.raises(DataModelError):
+        Chunk(plain, 10)
+
+
+def test_chunk_negative_size_rejected():
+    d = make_descriptor("m", "v").chunk_descriptor(0)
+    with pytest.raises(DataModelError):
+        Chunk(d, -1)
+
+
+def test_dataitem_negative_chunk_size_rejected():
+    with pytest.raises(DataModelError):
+        DataItem(make_descriptor("m", "v"), size=10, chunk_size=0)

@@ -1,0 +1,157 @@
+"""Unit tests for predicates and query specs."""
+
+import pytest
+
+from repro.data.descriptor import DataDescriptor
+from repro.data.predicate import (
+    Predicate,
+    QuerySpec,
+    Relation,
+    between,
+    eq,
+    exists,
+    ge,
+    gt,
+    is_in,
+    le,
+    lt,
+    ne,
+    prefix,
+    within_radius,
+)
+from repro.errors import DataModelError
+
+
+def d(**attrs):
+    return DataDescriptor(attrs)
+
+
+def test_eq_matches():
+    assert eq("t", "nox").matches(d(t="nox"))
+    assert not eq("t", "nox").matches(d(t="pm25"))
+
+
+def test_eq_never_matches_across_types():
+    assert not eq("v", 1).matches(d(v="1"))
+
+
+def test_ne():
+    assert ne("t", "nox").matches(d(t="pm25"))
+    assert not ne("t", "nox").matches(d(t="nox"))
+
+
+def test_missing_attribute_never_matches():
+    assert not eq("t", "x").matches(d(other=1))
+    assert not exists("t").matches(d(other=1))
+    assert not lt("t", 5).matches(d(other=1))
+
+
+def test_ordered_relations():
+    assert lt("v", 5).matches(d(v=4))
+    assert not lt("v", 5).matches(d(v=5))
+    assert le("v", 5).matches(d(v=5))
+    assert gt("v", 5).matches(d(v=6))
+    assert not gt("v", 5).matches(d(v=5))
+    assert ge("v", 5).matches(d(v=5))
+
+
+def test_ordered_relations_incomparable_types():
+    assert not lt("v", 5).matches(d(v="abc"))
+    assert not ge("v", "abc").matches(d(v=5))
+
+
+def test_between_inclusive():
+    p = between("v", 1, 3)
+    assert p.matches(d(v=1))
+    assert p.matches(d(v=2))
+    assert p.matches(d(v=3))
+    assert not p.matches(d(v=0))
+    assert not p.matches(d(v=4))
+
+
+def test_between_bounds_validation():
+    with pytest.raises(DataModelError):
+        between("v", 3, 1)
+    with pytest.raises(DataModelError):
+        Predicate("v", Relation.BETWEEN, (1,))
+
+
+def test_in():
+    p = is_in("t", ("a", "b"))
+    assert p.matches(d(t="a"))
+    assert not p.matches(d(t="c"))
+
+
+def test_in_requires_nonempty():
+    with pytest.raises(DataModelError):
+        is_in("t", ())
+
+
+def test_prefix():
+    p = prefix("name", "video/")
+    assert p.matches(d(name="video/cat.mp4"))
+    assert not p.matches(d(name="audio/cat.mp3"))
+    assert not p.matches(d(name=42))
+
+
+def test_prefix_requires_string_operand():
+    with pytest.raises(DataModelError):
+        Predicate("name", Relation.PREFIX, 42)
+
+
+def test_exists():
+    assert exists("t").matches(d(t=0))
+    assert not exists("t").matches(d(u=0))
+
+
+def test_exists_rejects_operand():
+    with pytest.raises(DataModelError):
+        Predicate("t", Relation.EXISTS, 1)
+
+
+def test_empty_spec_matches_everything():
+    spec = QuerySpec()
+    assert spec.matches(d(a=1))
+    assert spec.matches(d(b="x"))
+
+
+def test_spec_is_conjunction():
+    spec = QuerySpec([eq("t", "nox"), gt("v", 5)])
+    assert spec.matches(d(t="nox", v=6))
+    assert not spec.matches(d(t="nox", v=5))
+    assert not spec.matches(d(t="pm25", v=6))
+
+
+def test_spec_equality_and_hash():
+    a = QuerySpec([eq("t", "nox")])
+    b = QuerySpec([eq("t", "nox")])
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_spec_and_also():
+    spec = QuerySpec([eq("t", "nox")]).and_also(gt("v", 5))
+    assert len(spec) == 2
+
+
+def test_within_radius_bounding_box():
+    px, py = within_radius("x", "y", (10.0, 10.0), 5.0)
+    spec = QuerySpec([px, py])
+    assert spec.matches(d(x=12.0, y=8.0))
+    assert not spec.matches(d(x=20.0, y=10.0))
+
+
+def test_predicate_wire_size_positive():
+    for p in (eq("t", "nox"), between("v", 1, 2), is_in("t", ("a", "b")), exists("x")):
+        assert p.wire_size() > 0
+
+
+def test_spec_wire_size_sums_predicates():
+    single = QuerySpec([eq("t", "nox")])
+    double = QuerySpec([eq("t", "nox"), eq("u", "pm")])
+    assert double.wire_size() > single.wire_size()
+
+
+def test_empty_attribute_name_rejected():
+    with pytest.raises(DataModelError):
+        eq("", 1)

@@ -1,0 +1,53 @@
+"""Unit tests for metrics aggregation."""
+
+import pytest
+
+from repro.experiments.metrics import AggregateMetrics, TrialMetrics
+
+
+def trial(recall=1.0, latency=5.0, overhead=1_000_000, rounds=2):
+    return TrialMetrics(
+        recall=recall,
+        latency_s=latency,
+        overhead_bytes=overhead,
+        rounds=rounds,
+    )
+
+
+def test_overhead_mb_conversion():
+    assert trial(overhead=5_130_000).overhead_mb == pytest.approx(5.13)
+
+
+def test_aggregate_means():
+    agg = AggregateMetrics.from_trials(
+        [trial(recall=1.0, latency=4.0), trial(recall=0.5, latency=6.0)]
+    )
+    assert agg.recall_mean == pytest.approx(0.75)
+    assert agg.latency_mean == pytest.approx(5.0)
+    assert agg.trials == 2
+
+
+def test_aggregate_std():
+    agg = AggregateMetrics.from_trials(
+        [trial(latency=4.0), trial(latency=6.0)]
+    )
+    assert agg.latency_std == pytest.approx(2.0**0.5)
+
+
+def test_single_trial_zero_std():
+    agg = AggregateMetrics.from_trials([trial()])
+    assert agg.latency_std == 0.0
+    assert agg.recall_std == 0.0
+
+
+def test_empty_trials_rejected():
+    with pytest.raises(ValueError):
+        AggregateMetrics.from_trials([])
+
+
+def test_as_row_rounding():
+    agg = AggregateMetrics.from_trials([trial(latency=5.126, overhead=5_134_567)])
+    row = agg.as_row()
+    assert row["latency_s"] == 5.13
+    assert row["overhead_mb"] == 5.13
+    assert row["recall"] == 1.0

@@ -1,0 +1,62 @@
+"""Unit tests for the trial runner and table rendering."""
+
+import pytest
+
+from repro.experiments.metrics import TrialMetrics
+from repro.experiments.runner import (
+    DEFAULT_SEEDS,
+    configured_seeds,
+    render_table,
+    run_trials,
+    scale_factor,
+)
+
+
+def test_default_seeds_five_runs():
+    """The paper averages over 5 runs (§VI-A)."""
+    assert len(DEFAULT_SEEDS) == 5
+
+
+def test_configured_seeds_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SEEDS", "3")
+    assert configured_seeds() == [1, 2, 3]
+
+
+def test_configured_seeds_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SEEDS", raising=False)
+    assert configured_seeds() == list(DEFAULT_SEEDS)
+
+
+def test_scale_factor_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.25")
+    assert scale_factor() == 0.25
+    monkeypatch.delenv("REPRO_SCALE")
+    assert scale_factor(0.5) == 0.5
+
+
+def test_run_trials_aggregates():
+    def trial(seed):
+        return TrialMetrics(
+            recall=1.0, latency_s=float(seed), overhead_bytes=1000
+        )
+
+    agg = run_trials(trial, seeds=[1, 2, 3])
+    assert agg.trials == 3
+    assert agg.latency_mean == pytest.approx(2.0)
+
+
+def test_render_table_contains_rows():
+    table = render_table(
+        "My Title",
+        ["a", "b"],
+        [{"a": 1, "b": "x"}, {"a": 2, "b": "longer-value"}],
+    )
+    assert "My Title" in table
+    assert "longer-value" in table
+    lines = table.splitlines()
+    assert len(lines) >= 6
+
+
+def test_render_table_missing_cells_blank():
+    table = render_table("T", ["a", "b"], [{"a": 1}])
+    assert "1" in table

@@ -1,0 +1,74 @@
+"""Unit tests for scenario builders."""
+
+from repro.experiments.scenario import (
+    build_campus_scenario,
+    build_grid_scenario,
+    simulation_device_config,
+)
+from repro.mobility.campus import STUDENT_CENTER
+
+
+def test_grid_scenario_shape():
+    scenario = build_grid_scenario(rows=4, cols=5, seed=1)
+    assert len(scenario.devices) == 20
+    assert len(scenario.topology) == 20
+    assert len(scenario.consumers) == 1
+
+
+def test_grid_consumer_at_center():
+    scenario = build_grid_scenario(rows=5, cols=5, seed=1)
+    consumer = scenario.consumers[0]
+    # Centre of a 5x5 grid has the full 8-neighborhood.
+    assert len(scenario.topology.neighbors(consumer)) == 8
+
+
+def test_grid_extra_consumers_from_central_subgrid():
+    scenario = build_grid_scenario(rows=10, cols=10, seed=1, n_consumers=4)
+    assert len(scenario.consumers) == 4
+    assert len(set(scenario.consumers)) == 4
+    from repro.net.topology import center_subgrid
+
+    pool = center_subgrid(10, 10, list(range(100)), sub=5)
+    assert all(c in pool for c in scenario.consumers)
+
+
+def test_grid_scenario_deterministic_per_seed():
+    a = build_grid_scenario(rows=4, cols=4, seed=9, n_consumers=3)
+    b = build_grid_scenario(rows=4, cols=4, seed=9, n_consumers=3)
+    assert a.consumers == b.consumers
+    assert a.workload_rng().random() == b.workload_rng().random()
+
+
+def test_simulation_device_config_deep_queue():
+    config = simulation_device_config()
+    assert config.radio.os_buffer_bytes >= 4_000_000
+
+
+def test_campus_scenario_builds_initial_population():
+    scenario = build_campus_scenario(STUDENT_CENTER, seed=2, duration_s=60.0)
+    assert len(scenario.devices) == STUDENT_CENTER.population
+    assert scenario.trace_player is not None
+    assert "trace" in scenario.extras
+
+
+def test_campus_consumers_from_initial_nodes():
+    scenario = build_campus_scenario(
+        STUDENT_CENTER, seed=2, duration_s=60.0, n_consumers=3
+    )
+    trace = scenario.extras["trace"]
+    assert len(scenario.consumers) == 3
+    assert all(c in trace.initial_nodes for c in scenario.consumers)
+
+
+def test_campus_trace_events_scheduled():
+    scenario = build_campus_scenario(STUDENT_CENTER, seed=2, duration_s=120.0)
+    assert scenario.sim.pending_events > 0
+
+
+def test_campus_mobility_applies_over_time():
+    scenario = build_campus_scenario(
+        STUDENT_CENTER, seed=3, duration_s=120.0, frequency_scale=2.0
+    )
+    scenario.sim.run(until=120.0)
+    player = scenario.trace_player
+    assert player.moves > 0

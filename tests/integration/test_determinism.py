@@ -1,0 +1,80 @@
+"""Cross-run determinism: identical seeds must reproduce identical runs.
+
+Reproducibility is the backbone of the experiment harness — the paper
+averages over 5 seeded runs, and regressions here silently invalidate
+every comparison.
+"""
+
+from repro.core.rounds import RoundConfig
+from repro.experiments.figures.common import pdd_experiment, retrieval_experiment
+from repro.experiments.workload import make_video_item
+
+MB = 1024 * 1024
+
+
+def test_pdd_identical_across_runs():
+    a = pdd_experiment(seed=17, rows=5, cols=5, metadata_count=300)
+    b = pdd_experiment(seed=17, rows=5, cols=5, metadata_count=300)
+    assert a.first.recall == b.first.recall
+    assert a.first.result.latency == b.first.result.latency
+    assert a.first.result.rounds == b.first.result.rounds
+    assert a.total_overhead_bytes == b.total_overhead_bytes
+
+
+def test_pdd_differs_across_seeds():
+    a = pdd_experiment(seed=17, rows=5, cols=5, metadata_count=300)
+    b = pdd_experiment(seed=18, rows=5, cols=5, metadata_count=300)
+    assert (
+        a.total_overhead_bytes != b.total_overhead_bytes
+        or a.first.result.latency != b.first.result.latency
+    )
+
+
+def test_pdr_identical_across_runs():
+    runs = []
+    for _ in range(2):
+        item = make_video_item(1 * MB)
+        outcome = retrieval_experiment(seed=23, item=item, rows=5, cols=5)
+        runs.append(
+            (
+                outcome.first.recall,
+                outcome.first.result.latency,
+                outcome.total_overhead_bytes,
+            )
+        )
+    assert runs[0] == runs[1]
+
+
+def test_mdr_identical_across_runs():
+    runs = []
+    for _ in range(2):
+        item = make_video_item(1 * MB)
+        outcome = retrieval_experiment(
+            seed=29,
+            item=item,
+            method="mdr",
+            rows=5,
+            cols=5,
+            round_config=RoundConfig(window_s=4.0),
+        )
+        runs.append(
+            (
+                outcome.first.recall,
+                outcome.first.result.latency,
+                outcome.total_overhead_bytes,
+            )
+        )
+    assert runs[0] == runs[1]
+
+
+def test_mobility_trace_identical_across_runs():
+    from repro.experiments.scenario import build_campus_scenario
+    from repro.mobility.campus import STUDENT_CENTER
+
+    traces = []
+    for _ in range(2):
+        scenario = build_campus_scenario(
+            STUDENT_CENTER, seed=31, duration_s=60.0
+        )
+        traces.append(scenario.extras["trace"].events)
+    assert traces[0] == traces[1]

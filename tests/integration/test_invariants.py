@@ -1,0 +1,58 @@
+"""Global invariants hold after end-to-end protocol runs."""
+
+from repro.experiments.figures.common import pdd_experiment, retrieval_experiment
+from repro.experiments.validation import (
+    check_all,
+    check_cdi_hop_soundness,
+    check_metadata_payload_consistency,
+    check_queue_hygiene,
+    check_store_chunk_ids_valid,
+)
+from repro.experiments.workload import make_video_item
+
+MB = 1024 * 1024
+
+
+def test_invariants_after_discovery():
+    outcome = pdd_experiment(seed=1, rows=5, cols=5, metadata_count=200)
+    assert check_all(outcome.scenario) == []
+
+
+def test_invariants_after_retrieval():
+    item = make_video_item(2 * MB)
+    outcome = retrieval_experiment(seed=2, item=item, rows=5, cols=5)
+    scenario = outcome.scenario
+    assert check_metadata_payload_consistency(scenario) == []
+    assert check_store_chunk_ids_valid(scenario) == []
+    assert check_cdi_hop_soundness(scenario, item.descriptor) == []
+
+
+def test_invariants_after_mdr():
+    item = make_video_item(2 * MB)
+    outcome = retrieval_experiment(seed=3, item=item, method="mdr", rows=5, cols=5)
+    assert check_all(outcome.scenario, item.descriptor) == []
+
+
+def test_queue_hygiene_at_quiescence():
+    item = make_video_item(1 * MB)
+    outcome = retrieval_experiment(seed=4, item=item, rows=5, cols=5)
+    scenario = outcome.scenario
+    # Drain any tail traffic (acks, lingering retries) to quiescence.
+    while scenario.sim.pending_events and scenario.sim.now < 1200:
+        scenario.sim.run(until=scenario.sim.now + 30.0)
+    assert check_queue_hygiene(scenario) == []
+
+
+def test_checkers_report_violations(tmp_path):
+    """The checkers actually detect a planted inconsistency."""
+    outcome = pdd_experiment(seed=5, rows=3, cols=3, metadata_count=20)
+    scenario = outcome.scenario
+    device = scenario.device(scenario.consumers[0])
+    item = make_video_item(MB)
+    chunk = item.chunks()[0]
+    device.store.insert_chunk(chunk)
+    device.store.remove_metadata(chunk.item_descriptor)
+    device.store.remove_metadata(chunk.descriptor)
+    violations = check_metadata_payload_consistency(scenario)
+    assert violations
+    assert "metadata is missing" in violations[0]

@@ -1,0 +1,99 @@
+"""End-to-end PDD/PDR in mobile campus scenarios (Figs. 9, 10, 12)."""
+
+from repro.core.consumer import DiscoverySession
+from repro.experiments.figures.common import pdd_experiment, retrieval_experiment
+from repro.experiments.scenario import build_campus_scenario
+from repro.experiments.workload import (
+    distribute_chunks,
+    distribute_metadata,
+    generate_metadata,
+    make_video_item,
+)
+from repro.mobility.campus import CLASSROOMS, STUDENT_CENTER
+
+MB = 1024 * 1024
+
+
+def test_pdd_under_student_center_mobility():
+    scenario = build_campus_scenario(
+        STUDENT_CENTER, seed=1, frequency_scale=1.0, duration_s=90.0
+    )
+    outcome = pdd_experiment(
+        seed=1,
+        metadata_count=400,
+        scenario=scenario,
+        start_at=15.0,
+        sim_cap_s=70.0,
+    )
+    # Some entries may have walked away with leavers; mobility-robustness
+    # means recall stays high nonetheless.
+    assert outcome.first.recall > 0.85
+
+
+def test_pdd_under_classroom_mobility():
+    scenario = build_campus_scenario(
+        CLASSROOMS, seed=2, frequency_scale=1.0, duration_s=90.0
+    )
+    outcome = pdd_experiment(
+        seed=2,
+        metadata_count=400,
+        scenario=scenario,
+        start_at=15.0,
+        sim_cap_s=70.0,
+    )
+    assert outcome.first.recall > 0.9
+
+
+def test_pdd_robust_to_doubled_mobility():
+    """Figs. 9–10: recall stays near 100% even at 2× observed churn."""
+    scenario = build_campus_scenario(
+        STUDENT_CENTER, seed=3, frequency_scale=2.0, duration_s=90.0
+    )
+    outcome = pdd_experiment(
+        seed=3,
+        metadata_count=300,
+        scenario=scenario,
+        start_at=15.0,
+        sim_cap_s=70.0,
+    )
+    assert outcome.first.recall > 0.8
+
+
+def test_pdr_under_mobility():
+    """Fig. 12: a sizable item is retrieved while the crowd churns."""
+    scenario = build_campus_scenario(
+        STUDENT_CENTER, seed=4, frequency_scale=1.0, duration_s=240.0
+    )
+    item = make_video_item(2 * MB)
+    outcome = retrieval_experiment(
+        seed=4,
+        item=item,
+        redundancy=2,
+        scenario=scenario,
+        start_at=15.0,
+        sim_cap_s=200.0,
+    )
+    assert outcome.first.recall == 1.0
+
+
+def test_data_leaves_with_departing_node():
+    """A leaver's un-cached data is genuinely gone afterwards."""
+    scenario = build_campus_scenario(
+        STUDENT_CENTER, seed=5, frequency_scale=0.0, duration_s=300.0
+    )
+    entries = generate_metadata(10)
+    holder = scenario.extras["trace"].initial_nodes[0]
+    for entry in entries:
+        scenario.devices[holder].add_metadata(entry)
+    # Remove the holder manually mid-run, before any query is sent.
+    scenario.sim.schedule(
+        1.0, lambda: scenario.trace_player._leave(holder)
+    )
+    consumer_id = next(
+        n for n in scenario.extras["trace"].initial_nodes if n != holder
+    )
+    session = DiscoverySession(scenario.device(consumer_id))
+    scenario.sim.schedule(10.0, session.start)
+    scenario.sim.run(until=120.0)
+    assert session.done
+    assert len(session.received) == 0

@@ -1,0 +1,91 @@
+"""End-to-end PDR and MDR over the full stack."""
+
+import pytest
+
+from repro.experiments.figures.common import retrieval_experiment
+from repro.experiments.workload import make_video_item
+
+MB = 1024 * 1024
+
+
+def test_pdr_retrieves_full_item():
+    item = make_video_item(2 * MB)
+    outcome = retrieval_experiment(seed=1, item=item, rows=5, cols=5)
+    assert outcome.first.recall == 1.0
+    assert outcome.first.result.completed
+    assert outcome.first.result.latency > 0
+
+
+def test_pdr_overhead_a_few_times_item_size():
+    """Fig. 11: overhead ≈ 2–3× the item size (multi-hop travel)."""
+    item = make_video_item(4 * MB)
+    outcome = retrieval_experiment(seed=2, item=item, rows=7, cols=7)
+    ratio = outcome.total_overhead_bytes / (4 * MB)
+    assert 1.0 <= ratio <= 8.0
+
+
+def test_pdr_latency_grows_with_item_size():
+    small = retrieval_experiment(
+        seed=3, item=make_video_item(1 * MB), rows=5, cols=5
+    )
+    large = retrieval_experiment(
+        seed=3, item=make_video_item(4 * MB), rows=5, cols=5
+    )
+    assert large.first.result.latency > small.first.result.latency
+
+
+def test_pdr_flat_under_redundancy_mdr_grows():
+    """Figs. 13–14 headline: PDR stays flat, MDR grows with redundancy."""
+    item_size = 3 * MB
+    pdr_1 = retrieval_experiment(
+        seed=4, item=make_video_item(item_size), method="pdr",
+        rows=7, cols=7, redundancy=1,
+    )
+    pdr_4 = retrieval_experiment(
+        seed=4, item=make_video_item(item_size), method="pdr",
+        rows=7, cols=7, redundancy=4,
+    )
+    mdr_1 = retrieval_experiment(
+        seed=4, item=make_video_item(item_size), method="mdr",
+        rows=7, cols=7, redundancy=1,
+    )
+    mdr_4 = retrieval_experiment(
+        seed=4, item=make_video_item(item_size), method="mdr",
+        rows=7, cols=7, redundancy=4,
+    )
+    for outcome in (pdr_1, pdr_4, mdr_1, mdr_4):
+        assert outcome.first.recall == 1.0
+    # PDR does not grow with redundancy (allow small noise).
+    assert pdr_4.total_overhead_bytes <= pdr_1.total_overhead_bytes * 1.3
+    # MDR transmits duplicate copies from different reverse paths.
+    assert mdr_4.total_overhead_bytes > mdr_1.total_overhead_bytes * 1.5
+    # At high redundancy PDR costs (much) less than MDR.
+    assert pdr_4.total_overhead_bytes < mdr_4.total_overhead_bytes
+
+
+def test_pdr_sequential_consumers_benefit_from_caching():
+    """Fig. 15: later consumers retrieve from closer cached copies."""
+    item = make_video_item(2 * MB)
+    outcome = retrieval_experiment(
+        seed=5, item=item, rows=7, cols=7,
+        n_consumers=3, mode="sequential", sim_cap_s=900.0,
+    )
+    assert all(c.recall == 1.0 for c in outcome.consumers)
+    first, last = outcome.consumers[0], outcome.consumers[-1]
+    assert last.overhead_bytes < first.overhead_bytes
+
+
+def test_pdr_simultaneous_consumers_complete():
+    """Fig. 16: simultaneous consumers all finish."""
+    item = make_video_item(2 * MB)
+    outcome = retrieval_experiment(
+        seed=6, item=item, rows=7, cols=7,
+        n_consumers=2, mode="simultaneous", sim_cap_s=900.0,
+    )
+    assert all(c.recall == 1.0 for c in outcome.consumers)
+
+
+def test_mdr_retrieves_full_item():
+    item = make_video_item(2 * MB)
+    outcome = retrieval_experiment(seed=7, item=item, method="mdr", rows=5, cols=5)
+    assert outcome.first.recall == 1.0

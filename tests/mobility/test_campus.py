@@ -1,0 +1,128 @@
+"""Unit tests for the observation-based campus trace generator."""
+
+import random
+
+import pytest
+
+from repro.mobility.campus import (
+    CLASSROOMS,
+    STUDENT_CENTER,
+    MOVE_STEP_S,
+    WALK_SPEED,
+    generate_campus_trace,
+)
+from repro.mobility.model import MobilityEventKind
+
+
+def trace(scenario=STUDENT_CENTER, duration=600.0, seed=1, scale=1.0):
+    return generate_campus_trace(
+        scenario, duration, random.Random(seed), frequency_scale=scale
+    )
+
+
+def test_scenario_constants_match_paper():
+    """§VI-B-2 observations."""
+    assert STUDENT_CENTER.area.width == 120.0
+    assert STUDENT_CENTER.population == 20
+    assert STUDENT_CENTER.joins_per_minute == 1.0
+    assert STUDENT_CENTER.moves_per_minute == 4.0
+    assert CLASSROOMS.area.width == 20.0
+    assert CLASSROOMS.population == 30
+    assert CLASSROOMS.moves_per_minute == 0.5
+
+
+def test_initial_population():
+    t = trace()
+    assert len(t.initial_nodes) == 20
+    assert set(t.initial_positions) == set(t.initial_nodes)
+
+
+def test_initial_positions_inside_area():
+    t = trace()
+    for position in t.initial_positions.values():
+        assert STUDENT_CENTER.area.contains(position)
+
+
+def test_events_sorted_by_time_within_duration():
+    t = trace()
+    times = [e.time for e in t.events]
+    assert times == sorted(times)
+    assert all(0 <= time < t.duration_s for time in times)
+
+
+def test_event_rates_match_observations():
+    """~1 join, ~1 leave per minute over 10 minutes → ≈10 each."""
+    t = trace(duration=3600.0, seed=7)
+    joins = sum(1 for e in t.events if e.kind is MobilityEventKind.JOIN)
+    leaves = sum(1 for e in t.events if e.kind is MobilityEventKind.LEAVE)
+    assert 35 <= joins <= 90  # Poisson(60)
+    assert 25 <= leaves <= 90
+
+
+def test_frequency_scale_multiplies_rates():
+    slow = trace(duration=3600.0, seed=3, scale=0.5)
+    fast = trace(duration=3600.0, seed=3, scale=2.0)
+    slow_joins = sum(1 for e in slow.events if e.kind is MobilityEventKind.JOIN)
+    fast_joins = sum(1 for e in fast.events if e.kind is MobilityEventKind.JOIN)
+    assert fast_joins > slow_joins * 2
+
+
+def test_join_ids_fresh():
+    t = trace(duration=3600.0)
+    assert set(t.joining_nodes).isdisjoint(set(t.initial_nodes))
+    join_events = [e for e in t.events if e.kind is MobilityEventKind.JOIN]
+    assert {e.node_id for e in join_events} == set(t.joining_nodes)
+
+
+def test_leave_targets_present_nodes():
+    t = trace(duration=3600.0)
+    present = set(t.initial_nodes)
+    for event in t.events:
+        if event.kind is MobilityEventKind.JOIN:
+            present.add(event.node_id)
+        elif event.kind is MobilityEventKind.LEAVE:
+            assert event.node_id in present
+            present.remove(event.node_id)
+
+
+def test_moves_respect_walking_speed():
+    t = trace(duration=600.0, seed=5)
+    last = dict(t.initial_positions)
+    last_time = {n: 0.0 for n in t.initial_nodes}
+    for event in t.events:
+        if event.kind is MobilityEventKind.MOVE and event.node_id in last:
+            dt = event.time - last_time[event.node_id]
+            dx = event.position[0] - last[event.node_id][0]
+            dy = event.position[1] - last[event.node_id][1]
+            dist = (dx * dx + dy * dy) ** 0.5
+            if dt > 0:
+                assert dist / dt <= WALK_SPEED * 1.5 + 1e-6
+            last[event.node_id] = event.position
+            last_time[event.node_id] = event.time
+        elif event.kind is MobilityEventKind.JOIN:
+            last[event.node_id] = event.position
+            last_time[event.node_id] = event.time
+        elif event.kind is MobilityEventKind.LEAVE:
+            last.pop(event.node_id, None)
+
+
+def test_move_positions_inside_area():
+    t = trace(duration=600.0)
+    for event in t.events:
+        if event.kind is MobilityEventKind.MOVE:
+            assert STUDENT_CENTER.area.contains(event.position)
+
+
+def test_deterministic_for_seed():
+    a = trace(seed=42)
+    b = trace(seed=42)
+    assert a.events == b.events
+    assert a.initial_positions == b.initial_positions
+
+
+def test_different_seeds_differ():
+    assert trace(seed=1).events != trace(seed=2).events
+
+
+def test_move_step_resolution():
+    assert MOVE_STEP_S == pytest.approx(1.0)

@@ -1,0 +1,122 @@
+"""Unit tests for trace playback."""
+
+import random
+
+from repro.mobility.model import AreaSpec, MobilityEvent, MobilityEventKind
+from repro.mobility.trace import TracePlayer
+from repro.net.topology import Topology
+from repro.sim.simulator import Simulator
+
+
+class FakeDevice:
+    def __init__(self):
+        self.left = False
+
+    def leave(self):
+        self.left = True
+
+
+def make_player(device_factory=None):
+    sim = Simulator()
+    topo = Topology(40.0)
+    topo.add_node(0, (0, 0))
+    devices = {0: FakeDevice()}
+    player = TracePlayer(sim, topo, devices, device_factory)
+    return sim, topo, devices, player
+
+
+def test_move_event_updates_topology():
+    sim, topo, _, player = make_player()
+    player.schedule([MobilityEvent(1.0, MobilityEventKind.MOVE, 0, (9.0, 9.0))])
+    sim.run()
+    assert topo.position(0) == (9.0, 9.0)
+    assert player.moves == 1
+
+
+def test_move_for_absent_node_ignored():
+    sim, topo, _, player = make_player()
+    player.schedule([MobilityEvent(1.0, MobilityEventKind.MOVE, 99, (9.0, 9.0))])
+    sim.run()
+    assert player.moves == 0
+
+
+def test_join_creates_device_via_factory():
+    created = []
+
+    def factory(node_id):
+        device = FakeDevice()
+        created.append(node_id)
+        return device
+
+    sim, topo, devices, player = make_player(factory)
+    player.schedule([MobilityEvent(1.0, MobilityEventKind.JOIN, 5, (3.0, 3.0))])
+    sim.run()
+    assert 5 in topo
+    assert created == [5]
+    assert 5 in devices
+    assert player.joins == 1
+
+
+def test_join_without_factory_only_updates_topology():
+    sim, topo, devices, player = make_player()
+    player.schedule([MobilityEvent(1.0, MobilityEventKind.JOIN, 5, (3.0, 3.0))])
+    sim.run()
+    assert 5 in topo
+    assert 5 not in devices
+
+
+def test_duplicate_join_ignored():
+    sim, topo, _, player = make_player()
+    player.schedule(
+        [
+            MobilityEvent(1.0, MobilityEventKind.JOIN, 5, (3.0, 3.0)),
+            MobilityEvent(2.0, MobilityEventKind.JOIN, 5, (4.0, 4.0)),
+        ]
+    )
+    sim.run()
+    assert player.joins == 1
+    assert topo.position(5) == (3.0, 3.0)
+
+
+def test_leave_tears_down_device_and_node():
+    sim, topo, devices, player = make_player()
+    device = devices[0]
+    player.schedule([MobilityEvent(1.0, MobilityEventKind.LEAVE, 0)])
+    sim.run()
+    assert device.left
+    assert 0 not in topo
+    assert 0 not in devices
+    assert player.leaves == 1
+
+
+def test_leave_for_absent_node_safe():
+    sim, _, _, player = make_player()
+    player.schedule([MobilityEvent(1.0, MobilityEventKind.LEAVE, 42)])
+    sim.run()
+    assert player.leaves == 0
+
+
+def test_past_events_skipped():
+    sim, _, _, player = make_player()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    count = player.schedule(
+        [MobilityEvent(1.0, MobilityEventKind.MOVE, 0, (1.0, 1.0))]
+    )
+    assert count == 0
+
+
+def test_schedule_returns_count():
+    sim, _, _, player = make_player()
+    events = [
+        MobilityEvent(1.0, MobilityEventKind.MOVE, 0, (1.0, 1.0)),
+        MobilityEvent(2.0, MobilityEventKind.MOVE, 0, (2.0, 2.0)),
+    ]
+    assert player.schedule(events) == 2
+
+
+def test_area_spec_contains_and_clamp():
+    area = AreaSpec(10.0, 20.0)
+    assert area.contains((5.0, 5.0))
+    assert not area.contains((11.0, 5.0))
+    assert area.clamp((-5.0, 25.0)) == (0.0, 20.0)

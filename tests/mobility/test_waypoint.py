@@ -1,0 +1,50 @@
+"""Unit tests for random-waypoint trace generation."""
+
+import random
+
+from repro.mobility.model import AreaSpec, MobilityEventKind
+from repro.mobility.waypoint import generate_waypoint_trace
+
+
+def make(duration=300.0, seed=1, speed=1.2):
+    area = AreaSpec(100.0, 100.0)
+    nodes = [0, 1, 2]
+    positions = {0: (0.0, 0.0), 1: (50.0, 50.0), 2: (99.0, 99.0)}
+    events = generate_waypoint_trace(
+        nodes, positions, area, duration, random.Random(seed), speed=speed
+    )
+    return events, area
+
+
+def test_only_move_events():
+    events, _ = make()
+    assert all(e.kind is MobilityEventKind.MOVE for e in events)
+
+
+def test_sorted_and_bounded():
+    events, _ = make()
+    times = [e.time for e in events]
+    assert times == sorted(times)
+    assert all(0 <= t < 300.0 for t in times)
+
+
+def test_positions_inside_area():
+    events, area = make()
+    assert all(area.contains(e.position) for e in events)
+
+
+def test_all_nodes_move():
+    events, _ = make(duration=600.0)
+    movers = {e.node_id for e in events}
+    assert movers == {0, 1, 2}
+
+
+def test_deterministic():
+    a, _ = make(seed=9)
+    b, _ = make(seed=9)
+    assert a == b
+
+
+def test_zero_speed_produces_no_moves():
+    events, _ = make(speed=0.0)
+    assert events == []

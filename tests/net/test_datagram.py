@@ -1,0 +1,86 @@
+"""Tests for datagram framing, including over a real localhost socket."""
+
+import socket
+
+import pytest
+
+from repro.bloom.bloom_filter import BloomFilter
+from repro.core.messages import DiscoveryQuery, DiscoveryResponse
+from repro.data.descriptor import make_descriptor
+from repro.data.predicate import QuerySpec, eq
+from repro.errors import ProtocolError
+from repro.net.datagram import (
+    MAGIC,
+    MAX_DATAGRAM_PAYLOAD,
+    pack_datagram,
+    try_unpack,
+    unpack_datagram,
+)
+
+
+def query():
+    return DiscoveryQuery(
+        message_id=77,
+        sender_id=1,
+        receiver_ids=frozenset({2}),
+        spec=QuerySpec([eq("data_type", "nox")]),
+        origin_id=1,
+        expires_at=30.0,
+        bloom=BloomFilter.for_capacity(10),
+    )
+
+
+def test_pack_unpack_round_trip():
+    datagram = pack_datagram(query())
+    assert datagram.startswith(MAGIC)
+    decoded = unpack_datagram(datagram)
+    assert decoded.message_id == 77
+    assert decoded.spec == query().spec
+
+
+def test_bad_magic_rejected():
+    datagram = b"XXXX" + pack_datagram(query())[4:]
+    with pytest.raises(ProtocolError):
+        unpack_datagram(datagram)
+
+
+def test_truncated_rejected():
+    datagram = pack_datagram(query())
+    with pytest.raises(ProtocolError):
+        unpack_datagram(datagram[:-3])
+    with pytest.raises(ProtocolError):
+        unpack_datagram(b"PD")
+
+
+def test_oversized_message_rejected():
+    entries = tuple(
+        make_descriptor("env", "nox", time=float(i), note="x" * 200)
+        for i in range(MAX_DATAGRAM_PAYLOAD // 200)
+    )
+    response = DiscoveryResponse(
+        message_id=1, sender_id=1, receiver_ids=frozenset({2}), entries=entries
+    )
+    with pytest.raises(ProtocolError):
+        pack_datagram(response)
+
+
+def test_try_unpack_swallows_noise():
+    assert try_unpack(b"random noise") is None
+    assert try_unpack(pack_datagram(query())) is not None
+
+
+def test_round_trip_over_real_udp_socket():
+    """The §V deployment path: PDS frames over an actual UDP socket."""
+    receiver = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    receiver.bind(("127.0.0.1", 0))
+    receiver.settimeout(5.0)
+    sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        sender.sendto(pack_datagram(query()), receiver.getsockname())
+        data, _ = receiver.recvfrom(65535)
+        decoded = unpack_datagram(data)
+        assert decoded.message_id == 77
+        assert decoded.receiver_ids == frozenset({2})
+    finally:
+        sender.close()
+        receiver.close()

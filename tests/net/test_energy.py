@@ -1,0 +1,65 @@
+"""Unit tests for the energy accounting extension."""
+
+import pytest
+
+from repro.net.energy import EnergyModel, energy_report
+from repro.net.stats import NetworkStats
+
+
+def test_model_components():
+    model = EnergyModel(tx_j_per_byte=2.0, rx_j_per_byte=1.0, idle_w=0.5)
+    energy = model.node_energy_j(tx_bytes=10, rx_bytes=4, duration_s=8.0)
+    assert energy == pytest.approx(10 * 2.0 + 4 * 1.0 + 8.0 * 0.5)
+
+
+def test_stats_track_per_node_bytes():
+    stats = NetworkStats()
+    stats.record_transmission("data", 100, sender=1)
+    stats.record_transmission("data", 50, sender=1)
+    stats.record_reception(2, 100)
+    assert stats.tx_bytes_by_node[1] == 150
+    assert stats.rx_bytes_by_node[2] == 100
+
+
+def test_report_covers_all_active_nodes():
+    stats = NetworkStats()
+    stats.record_transmission("data", 100, sender=1)
+    stats.record_reception(2, 100)
+    report = energy_report(stats, duration_s=10.0)
+    assert set(report.per_node_j) == {1, 2}
+    assert report.total_j > 0
+    assert report.mean_j == pytest.approx(report.total_j / 2)
+
+
+def test_relays_rank_as_top_consumers():
+    stats = NetworkStats()
+    stats.record_transmission("data", 10_000_000, sender=5)  # busy relay
+    stats.record_transmission("data", 100, sender=6)
+    stats.record_reception(6, 100)
+    report = energy_report(stats, duration_s=1.0)
+    assert report.top_consumers(1)[0][0] == 5
+
+
+def test_overhearing_costs_energy_in_simulation():
+    """Every in-range node pays rx energy for overheard frames."""
+    from tests.helpers import clique_positions, make_net
+    from repro.data import make_descriptor
+    from repro.core.consumer import DiscoverySession
+
+    net = make_net(clique_positions(4))
+    net.devices[1].add_metadata(make_descriptor("env", "nox", time=1.0))
+    session = DiscoverySession(net.devices[0])
+    net.sim.schedule(0.0, session.start)
+    net.sim.run(until=30.0)
+    report = energy_report(net.medium.stats, duration_s=net.sim.now)
+    # Nodes 2 and 3 never sourced data but overheard everything.
+    assert net.medium.stats.rx_bytes_by_node[2] > 0
+    assert net.medium.stats.rx_bytes_by_node[3] > 0
+    assert report.per_node_j[2] > 0
+
+
+def test_empty_report():
+    report = energy_report(NetworkStats(), duration_s=5.0)
+    assert report.total_j == 0.0
+    assert report.mean_j == 0.0
+    assert report.top_consumers() == []

@@ -1,0 +1,150 @@
+"""Unit tests for the broadcast face (full send/receive path)."""
+
+import random
+
+from repro.net.faces import BroadcastFace
+from repro.net.leaky_bucket import LeakyBucketConfig
+from repro.net.medium import BroadcastMedium
+from repro.net.reliability import ReliabilityConfig
+from repro.net.topology import Topology
+from repro.sim.simulator import Simulator
+
+
+def make_faces(n=2, base_loss=0.0, reliability=None, use_bucket=True):
+    sim = Simulator()
+    topo = Topology(40.0)
+    for i in range(n):
+        topo.add_node(i, (i * 10.0, 0.0))
+    medium = BroadcastMedium(sim, topo, random.Random(2), base_loss=base_loss)
+    faces = [
+        BroadcastFace(
+            sim,
+            medium,
+            i,
+            random.Random(50 + i),
+            reliability_config=reliability,
+            use_leaky_bucket=use_bucket,
+        )
+        for i in range(n)
+    ]
+    return sim, medium, faces
+
+
+def test_payload_delivered_with_addressing_flag():
+    sim, _, (a, b) = make_faces(2)
+    seen = []
+    b.on_receive(lambda frame, addressed: seen.append((frame.payload, addressed)))
+    a.send("hello", 100, receivers=frozenset({1}), kind="data")
+    sim.run(until=5.0)
+    assert seen == [("hello", True)]
+
+
+def test_overheard_payload_flagged_not_addressed():
+    sim, _, (a, b, c) = make_faces(3)
+    seen = []
+    c.on_receive(lambda frame, addressed: seen.append((frame.payload, addressed)))
+    a.send("hello", 100, receivers=frozenset({1}), kind="data")
+    sim.run(until=5.0)
+    assert seen == [("hello", False)]
+
+
+def test_flood_addresses_everyone():
+    sim, _, (a, b, c) = make_faces(3)
+    seen = []
+    b.on_receive(lambda frame, addressed: seen.append(("b", addressed)))
+    c.on_receive(lambda frame, addressed: seen.append(("c", addressed)))
+    a.send("flood", 100, receivers=None)
+    sim.run(until=5.0)
+    assert ("b", True) in seen
+    assert ("c", True) in seen
+
+
+def test_acks_are_not_delivered_as_payloads():
+    sim, _, (a, b) = make_faces(2)
+    a_seen, b_seen = [], []
+    a.on_receive(lambda f, ad: a_seen.append(f.payload))
+    b.on_receive(lambda f, ad: b_seen.append(f.payload))
+    a.send("ping", 100, receivers=frozenset({1}), reliable=True)
+    sim.run(until=5.0)
+    assert b_seen == ["ping"]
+    assert a_seen == []  # the ack frame is consumed by the sender machinery
+
+
+def test_reliable_delivery_over_lossy_link():
+    sim, _, faces = make_faces(2, base_loss=0.4)
+    _, b = faces
+    seen = []
+    b.on_receive(lambda f, ad: seen.append(f.payload))
+    for i in range(20):
+        faces[0].send(("msg", i), 200, receivers=frozenset({1}), reliable=True)
+    sim.run(until=60.0)
+    distinct = {p for p in seen}
+    assert len(distinct) >= 18  # retransmission recovers most losses
+
+
+def test_unreliable_send_not_retransmitted():
+    sim, medium, (a, b) = make_faces(2, base_loss=1.0)
+    a.send("lost", 100, receivers=frozenset({1}), reliable=False)
+    sim.run(until=5.0)
+    assert medium.stats.frames_sent == 1  # no retries
+
+
+def test_retransmission_delivers_once_to_application():
+    sim, _, faces = make_faces(
+        2, base_loss=0.0, reliability=ReliabilityConfig(retr_timeout_s=0.05)
+    )
+    a, b = faces
+    seen = []
+    b.on_receive(lambda f, ad: seen.append(f.payload))
+
+    # Swallow b's acks so a retransmits: detach b's ack path by making a
+    # deaf to acks is hard; instead use loss on the reverse direction via
+    # medium monkeypatching. Simpler: drop the first ack by intercepting.
+    original = a.sender.ack_received
+    dropped = []
+
+    def drop_first(ack):
+        if not dropped:
+            dropped.append(ack)
+            return
+        original(ack)
+
+    a.sender.ack_received = drop_first
+    a.send("dup?", 100, receivers=frozenset({1}), reliable=True)
+    sim.run(until=5.0)
+    assert seen == ["dup?"]  # duplicate suppressed at the receiver
+
+
+def test_neighbors_reflect_topology():
+    sim, medium, (a, b) = make_faces(2)
+    assert a.neighbors() == [1]
+    medium.topology.move(1, (500.0, 0.0))
+    assert a.neighbors() == []
+
+
+def test_shutdown_stops_traffic():
+    sim, medium, (a, b) = make_faces(2)
+    seen = []
+    b.on_receive(lambda f, ad: seen.append(f.payload))
+    a.send("before", 100, receivers=frozenset({1}))
+    a.shutdown()
+    sim.run(until=5.0)
+    # The face detached before the bucket could release to the radio, or
+    # at worst the single frame made it; no retransmissions occur after.
+    assert a.sender.outstanding == 0
+
+
+def test_bucket_paces_throughput():
+    sim, medium, (a, b) = make_faces(
+        2, use_bucket=True
+    )
+    arrivals = []
+    b.on_receive(lambda f, ad: arrivals.append(sim.now))
+    a.bucket.config = LeakyBucketConfig(capacity_bytes=2000, leak_rate_bps=8000)
+    a.bucket._tokens = 2000.0
+    for i in range(6):
+        a.send(("m", i), 964, receivers=frozenset({1}), reliable=False)
+    sim.run(until=60.0)
+    assert len(arrivals) == 6
+    # 1 KB/s leak: ~1 s between late frames.
+    assert arrivals[-1] - arrivals[-2] > 0.5

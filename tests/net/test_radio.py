@@ -1,0 +1,149 @@
+"""Unit tests for the radio: OS buffer, CSMA deferral, serial draining."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.medium import BroadcastMedium
+from repro.net.message import Frame
+from repro.net.radio import Radio, RadioConfig
+from repro.net.topology import Topology
+from repro.sim.simulator import Simulator
+
+
+def make_pair(os_buffer=10_000, base_loss=0.0):
+    sim = Simulator()
+    topo = Topology(40.0)
+    topo.add_node(1, (0, 0))
+    topo.add_node(2, (10, 0))
+    medium = BroadcastMedium(sim, topo, random.Random(3), base_loss=base_loss)
+    config = RadioConfig(os_buffer_bytes=os_buffer)
+    tx = Radio(sim, medium, 1, random.Random(4), config)
+    rx = Radio(sim, medium, 2, random.Random(5), config)
+    return sim, medium, tx, rx
+
+
+def frame(size=1000):
+    return Frame(sender=1, payload="p", payload_size=size)
+
+
+def test_send_and_receive():
+    sim, _, tx, rx = make_pair()
+    received = []
+    rx.on_receive(received.append)
+    assert tx.send(frame()) is True
+    sim.run()
+    assert len(received) == 1
+
+
+def test_os_buffer_overflow_silently_drops():
+    """The Android UDP behaviour (§V-2): full buffer → silent drop."""
+    sim, medium, tx, _ = make_pair(os_buffer=3000)
+    assert tx.send(frame(1000))  # in flight counts against buffer? queued
+    assert tx.send(frame(1000))
+    accepted_third = tx.send(frame(1000))
+    # Each frame is ~1036B with headers; the third may or may not fit,
+    # the fourth certainly does not.
+    accepted_fourth = tx.send(frame(1000))
+    assert not (accepted_third and accepted_fourth)
+    assert medium.stats.frames_dropped_buffer >= 1
+
+
+def test_buffer_drains_over_time():
+    sim, _, tx, rx = make_pair(os_buffer=2500)
+    received = []
+    rx.on_receive(received.append)
+    tx.send(frame(1000))
+    tx.send(frame(1000))
+    sim.run()
+    # After draining, new sends are accepted again.
+    assert tx.send(frame(1000))
+    sim.run()
+    assert len(received) == 3
+
+
+def test_frames_transmit_in_fifo_order():
+    sim, _, tx, rx = make_pair(os_buffer=100_000)
+    received = []
+    rx.on_receive(lambda f: received.append(f.payload))
+    for tag in ("a", "b", "c"):
+        tx.send(Frame(sender=1, payload=tag, payload_size=100))
+    sim.run()
+    assert received == ["a", "b", "c"]
+
+
+def test_priority_send_jumps_queue():
+    sim, _, tx, rx = make_pair(os_buffer=100_000)
+    received = []
+    rx.on_receive(lambda f: received.append(f.payload))
+    tx.send(Frame(sender=1, payload="first", payload_size=5000))
+    tx.send(Frame(sender=1, payload="second", payload_size=100))
+    tx.send(Frame(sender=1, payload="urgent", payload_size=50), priority=True)
+    sim.run()
+    # "first" is already on the air when "urgent" arrives; "urgent" then
+    # precedes "second".
+    assert received.index("urgent") < received.index("second")
+
+
+def test_on_sent_fires_after_airtime():
+    sim, medium, tx, _ = make_pair()
+    sent_at = []
+    tx.on_sent(lambda f: sent_at.append(sim.now))
+    f = frame(7200)
+    tx.send(f)
+    sim.run()
+    assert sent_at[0] == pytest.approx(medium.airtime(f.size))
+
+
+def test_csma_defers_while_channel_busy():
+    sim, medium, tx, rx = make_pair(os_buffer=200_000)
+    received = []
+    rx.on_receive(lambda f: received.append(sim.now))
+    # rx transmits a long frame; tx must defer.
+    long_frame = Frame(sender=2, payload="long", payload_size=90_000)
+    rx.send(long_frame)
+    sim.schedule(0.001, lambda: tx.send(frame(1000)))
+    sim.run()
+    # tx's frame arrives only after the long frame finished.
+    assert received
+    assert received[0] > medium.airtime(long_frame.size)
+
+
+def test_remove_withdraws_queued_frame():
+    sim, _, tx, rx = make_pair(os_buffer=100_000)
+    received = []
+    rx.on_receive(lambda f: received.append(f.payload))
+    tx.send(Frame(sender=1, payload="keep1", payload_size=5000))
+    victim = Frame(sender=1, payload="victim", payload_size=5000)
+    tx.send(victim)
+    assert tx.remove(victim) is True
+    assert tx.remove(victim) is False
+    sim.run()
+    assert "victim" not in received
+
+
+def test_shutdown_clears_queue_and_detaches():
+    sim, _, tx, rx = make_pair()
+    received = []
+    rx.on_receive(received.append)
+    tx.send(frame())
+    tx.shutdown()
+    # The frame already on the air keeps going, but nothing new queues.
+    assert tx.queue_length == 0
+
+
+def test_queued_bytes_accounting():
+    sim, _, tx, _ = make_pair(os_buffer=1_000_000)
+    assert tx.queued_bytes == 0
+    tx.send(frame(1000))
+    tx.send(frame(1000))
+    # The first frame starts transmitting immediately; the second waits.
+    assert tx.queue_length == 1
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        RadioConfig(os_buffer_bytes=0)
+    with pytest.raises(ConfigurationError):
+        RadioConfig(backoff_min_s=0.5, backoff_max_s=0.1)

@@ -1,0 +1,43 @@
+"""Unit tests for network statistics."""
+
+from repro.net.stats import NetworkStats
+
+
+def test_record_transmission_accumulates():
+    stats = NetworkStats()
+    stats.record_transmission("query", 100)
+    stats.record_transmission("query", 50)
+    stats.record_transmission("ack", 10)
+    assert stats.frames_sent == 3
+    assert stats.bytes_sent == 160
+    assert stats.bytes_by_kind["query"] == 150
+    assert stats.frames_by_kind["ack"] == 1
+
+
+def test_overhead_bytes_with_and_without_acks():
+    stats = NetworkStats()
+    stats.record_transmission("response", 1000)
+    stats.record_transmission("ack", 48)
+    assert stats.overhead_bytes() == 1048
+    assert stats.overhead_bytes(include_acks=False) == 1000
+
+
+def test_loss_ratio_zero_when_no_traffic():
+    assert NetworkStats().loss_ratio() == 0.0
+
+
+def test_loss_ratio():
+    stats = NetworkStats()
+    stats.frames_delivered = 90
+    stats.frames_lost_collision = 5
+    stats.frames_lost_random = 5
+    assert stats.loss_ratio() == 0.1
+
+
+def test_snapshot_contains_counters():
+    stats = NetworkStats()
+    stats.record_transmission("x", 10)
+    snap = stats.snapshot()
+    assert snap["frames_sent"] == 1
+    assert snap["bytes_sent"] == 10
+    assert "loss_ratio" in snap

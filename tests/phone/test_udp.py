@@ -1,0 +1,39 @@
+"""Unit tests for the Android UDP send-path model."""
+
+import pytest
+
+from repro.phone.udp import (
+    ANDROID_MAC_BROADCAST_BPS,
+    ANDROID_OS_BUFFER_BYTES,
+    PROTOTYPE_PACKET_BYTES,
+    UdpSendModel,
+    android_radio_config,
+)
+
+
+def test_paper_constants():
+    assert PROTOTYPE_PACKET_BYTES == 1500
+    assert ANDROID_MAC_BROADCAST_BPS == pytest.approx(7.2e6)
+
+
+def test_buffer_fits_about_658_packets():
+    """§V-2: almost all of the first 658 messages (≈1 MB) are received."""
+    model = UdpSendModel()
+    assert 640 <= model.packets_before_overflow() <= 680
+
+
+def test_steady_state_reception_matches_14_percent():
+    """§V-4: ~14% reception when sending as fast as possible."""
+    model = UdpSendModel()
+    rate = model.steady_state_reception(app_rate_bps=50e6)
+    assert 0.10 <= rate <= 0.20
+
+
+def test_reception_full_when_app_slower_than_mac():
+    model = UdpSendModel()
+    assert model.steady_state_reception(4.5e6) == 1.0
+
+
+def test_radio_config_uses_android_buffer():
+    config = android_radio_config()
+    assert config.os_buffer_bytes == ANDROID_OS_BUFFER_BYTES

@@ -1,0 +1,80 @@
+"""Property-based tests for the GAP assignment heuristic (Eq. 1)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import assign_chunks, max_load
+
+
+@st.composite
+def instances(draw):
+    """Random chunk→(neighbor, hop) option maps."""
+    n_neighbors = draw(st.integers(1, 6))
+    n_chunks = draw(st.integers(0, 20))
+    options = {}
+    for chunk_id in range(n_chunks):
+        count = draw(st.integers(0, n_neighbors))
+        neighbors = draw(
+            st.lists(
+                st.integers(0, n_neighbors - 1),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        options[chunk_id] = [
+            (neighbor, draw(st.integers(1, 5))) for neighbor in neighbors
+        ]
+    return options
+
+
+@given(instances())
+@settings(max_examples=100)
+def test_every_assignable_chunk_assigned_exactly_once(options):
+    """Eq. 1 constraint: Σ_i x_ij = 1 for every chunk with options."""
+    assignment = assign_chunks(options)
+    assigned = sorted(c for chunks in assignment.values() for c in chunks)
+    expected = sorted(c for c, opts in options.items() if opts)
+    assert assigned == expected
+
+
+@given(instances())
+@settings(max_examples=100)
+def test_assignment_only_uses_offered_neighbors(options):
+    """Eq. 1 constraint: x_ij ≤ availability."""
+    assignment = assign_chunks(options)
+    for neighbor, chunks in assignment.items():
+        for chunk in chunks:
+            assert neighbor in {n for n, _ in options[chunk]}
+
+
+@given(instances(), st.integers(0, 2**16))
+@settings(max_examples=100)
+def test_never_worse_than_pure_least_hop_greedy(options, seed):
+    assignment = assign_chunks(options, random.Random(seed))
+    greedy = {}
+    for chunk, opts in options.items():
+        if not opts:
+            continue
+        neighbor, _ = min(opts, key=lambda p: (p[1], p[0]))
+        greedy.setdefault(neighbor, set()).add(chunk)
+    assert max_load(options, assignment) <= max_load(options, greedy)
+
+
+@given(instances())
+@settings(max_examples=100)
+def test_deterministic_without_rng(options):
+    assert assign_chunks(options) == assign_chunks(options)
+
+
+@given(st.integers(1, 20), st.integers(1, 6))
+@settings(max_examples=50)
+def test_uniform_single_hop_instances_balance(n_chunks, n_neighbors):
+    """All neighbors offer every chunk at hop 1 → near-even split."""
+    options = {c: [(n, 1) for n in range(n_neighbors)] for c in range(n_chunks)}
+    assignment = assign_chunks(options)
+    load = max_load(options, assignment)
+    optimal = -(-n_chunks // n_neighbors)  # ceil division
+    assert load == optimal

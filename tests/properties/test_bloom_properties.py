@@ -1,0 +1,71 @@
+"""Property-based tests for the Bloom filter invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom.bloom_filter import BloomFilter, make_round_filter
+from repro.bloom.sizing import optimal_parameters
+
+keys = st.lists(st.binary(min_size=1, max_size=32), min_size=0, max_size=60)
+
+
+@given(keys)
+@settings(max_examples=50)
+def test_no_false_negatives(batch):
+    """Every inserted key tests positive — the defining guarantee."""
+    bloom = BloomFilter.for_capacity(max(1, len(batch)))
+    for key in batch:
+        bloom.insert(key)
+    assert all(key in bloom for key in batch)
+
+
+@given(keys, st.integers(min_value=0, max_value=10))
+@settings(max_examples=50)
+def test_no_false_negatives_any_seed(batch, seed):
+    bloom = BloomFilter(512, 4, seed=seed)
+    bloom.insert_all(batch)
+    assert all(key in bloom for key in batch)
+
+
+@given(keys, keys)
+@settings(max_examples=50)
+def test_union_is_superset(left_keys, right_keys):
+    """The union contains everything either side contained."""
+    left = BloomFilter(512, 4, seed=1)
+    right = BloomFilter(512, 4, seed=1)
+    left.insert_all(left_keys)
+    right.insert_all(right_keys)
+    left.union_update(right)
+    assert all(key in left for key in left_keys + right_keys)
+
+
+@given(keys)
+@settings(max_examples=50)
+def test_copy_isolation(batch):
+    original = BloomFilter(256, 3)
+    clone = original.copy()
+    clone.insert_all(batch)
+    for key in batch:
+        assert key in clone
+    # The original saw none of the inserts (no shared bit array).
+    if batch:
+        assert original.fill_ratio() == 0.0
+
+
+@given(st.integers(min_value=1, max_value=100_000))
+@settings(max_examples=50)
+def test_optimal_parameters_sane(n):
+    m, k = optimal_parameters(n, 0.01)
+    assert m >= 64
+    assert 1 <= k <= 32
+    # More elements never shrink the filter.
+    m2, _ = optimal_parameters(n + 1000, 0.01)
+    assert m2 >= m
+
+
+@given(keys, st.integers(min_value=1, max_value=5))
+@settings(max_examples=30)
+def test_round_filter_contains_received(batch, round_index):
+    bloom = make_round_filter(batch, round_index)
+    assert all(key in bloom for key in batch)
+    assert bloom.seed == round_index

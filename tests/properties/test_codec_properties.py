@@ -1,0 +1,137 @@
+"""Property-based round-trip tests for the binary codecs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import DiscoveryQuery, DiscoveryResponse, MdrQuery
+from repro.core.wire import decode_message, encode_message
+from repro.data.codec import (
+    decode_descriptor,
+    decode_query_spec,
+    decode_value,
+    decode_varint,
+    decode_zigzag,
+    encode_descriptor,
+    encode_query_spec,
+    encode_value,
+    encode_varint,
+    encode_zigzag,
+)
+from repro.data.descriptor import DataDescriptor
+from repro.data.predicate import QuerySpec, between, eq
+
+values = st.one_of(
+    st.integers(min_value=-(2**60), max_value=2**60),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+    st.booleans(),
+)
+
+attr_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=127),
+    min_size=1,
+    max_size=10,
+)
+
+descriptors = st.dictionaries(attr_names, values, min_size=1, max_size=8).map(
+    DataDescriptor
+)
+
+
+@given(st.integers(min_value=0, max_value=2**63 - 1))
+@settings(max_examples=200)
+def test_varint_round_trip(value):
+    decoded, offset = decode_varint(encode_varint(value))
+    assert decoded == value
+
+
+@given(st.integers(min_value=-(2**62), max_value=2**62))
+@settings(max_examples=200)
+def test_zigzag_round_trip(value):
+    decoded, _ = decode_zigzag(encode_zigzag(value))
+    assert decoded == value
+
+
+@given(values)
+@settings(max_examples=200)
+def test_value_round_trip_exact(value):
+    decoded, offset = decode_value(encode_value(value))
+    assert decoded == value
+    assert type(decoded) is type(value)
+
+
+@given(descriptors)
+@settings(max_examples=100)
+def test_descriptor_round_trip(descriptor):
+    decoded, offset = decode_descriptor(encode_descriptor(descriptor))
+    assert decoded == descriptor
+    assert decoded.stable_key() == descriptor.stable_key()
+
+
+@given(st.lists(st.tuples(attr_names, values), max_size=5))
+@settings(max_examples=100)
+def test_query_spec_round_trip(pairs):
+    predicates = [eq(name, value) for name, value in pairs]
+    spec = QuerySpec(predicates)
+    decoded, _ = decode_query_spec(encode_query_spec(spec))
+    assert decoded == spec
+
+
+@given(
+    st.integers(1, 2**31),
+    st.integers(0, 1000),
+    st.sets(st.integers(0, 499), max_size=30),
+    st.integers(1, 500),
+)
+@settings(max_examples=100)
+def test_mdr_query_round_trip(message_id, sender, have, total):
+    have = {h for h in have if h < total}
+    item = DataDescriptor({"namespace": "m", "data_type": "v", "name": "x"})
+    query = MdrQuery(
+        message_id=message_id,
+        sender_id=sender,
+        receiver_ids=None,
+        item=item,
+        total_chunks=total,
+        have_chunk_ids=frozenset(have),
+        origin_id=sender,
+        expires_at=100.0,
+    )
+    decoded = decode_message(encode_message(query))
+    assert decoded.have_chunk_ids == frozenset(have)
+    assert decoded.total_chunks == total
+
+
+@given(st.lists(descriptors, max_size=10), st.integers(0, 5))
+@settings(max_examples=100)
+def test_discovery_response_round_trip(entries, round_index):
+    response = DiscoveryResponse(
+        message_id=1,
+        sender_id=2,
+        receiver_ids=frozenset({3, 4}),
+        entries=tuple(entries),
+        round_index=round_index,
+    )
+    decoded = decode_message(encode_message(response))
+    assert decoded.entries == tuple(entries)
+    assert decoded.receiver_ids == frozenset({3, 4})
+
+
+@given(
+    st.sets(st.integers(0, 1000), max_size=8),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+@settings(max_examples=100)
+def test_discovery_query_round_trip(receivers, expires):
+    query = DiscoveryQuery(
+        message_id=1,
+        sender_id=0,
+        receiver_ids=frozenset(receivers) if receivers else None,
+        spec=QuerySpec([between("time", 0.0, 10.0)]),
+        origin_id=-1,
+        expires_at=expires,
+    )
+    decoded = decode_message(encode_message(query))
+    assert decoded.receiver_ids == (frozenset(receivers) if receivers else None)
+    assert decoded.expires_at == expires
+    assert decoded.origin_id == -1

@@ -1,0 +1,60 @@
+"""Property-based tests for the event queue ordering invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.event import EventQueue
+from repro.sim.simulator import Simulator
+
+schedules = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        st.integers(-3, 3),
+    ),
+    max_size=60,
+)
+
+
+@given(schedules)
+@settings(max_examples=100)
+def test_pop_order_is_time_then_priority_then_fifo(items):
+    queue = EventQueue()
+    for index, (time, priority) in enumerate(items):
+        queue.push(time, lambda: None, (), priority=priority)
+    popped = []
+    while queue:
+        event = queue.pop()
+        popped.append((event.time, event.priority, event.sequence))
+    assert popped == sorted(popped)
+
+
+@given(schedules, st.sets(st.integers(0, 59)))
+@settings(max_examples=100)
+def test_cancellation_removes_exactly_those_events(items, to_cancel):
+    queue = EventQueue()
+    events = []
+    for time, priority in items:
+        events.append(queue.push(time, lambda: None, (), priority=priority))
+    cancelled = set()
+    for index in to_cancel:
+        if index < len(events):
+            queue.cancel(events[index])
+            cancelled.add(events[index].sequence)
+    surviving = []
+    while queue:
+        surviving.append(queue.pop().sequence)
+    expected = [e.sequence for e in events if e.sequence not in cancelled]
+    assert sorted(surviving) == sorted(expected)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=40))
+@settings(max_examples=100)
+def test_simulator_clock_monotonic(delays):
+    sim = Simulator()
+    observed = []
+    for delay in delays:
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    if delays:
+        assert sim.now == max(delays)

@@ -1,0 +1,55 @@
+"""Property-based tests for mobility trace invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.campus import STUDENT_CENTER, generate_campus_trace
+from repro.mobility.model import MobilityEventKind
+
+
+@given(
+    st.integers(0, 2**16),
+    st.floats(min_value=30.0, max_value=900.0),
+    st.floats(min_value=0.0, max_value=3.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_trace_invariants(seed, duration, scale):
+    trace = generate_campus_trace(
+        STUDENT_CENTER, duration, random.Random(seed), frequency_scale=scale
+    )
+    # Times sorted and bounded.
+    times = [e.time for e in trace.events]
+    assert times == sorted(times)
+    assert all(0.0 <= t < duration for t in times)
+    # Every position inside the area.
+    for event in trace.events:
+        if event.kind is not MobilityEventKind.LEAVE:
+            assert STUDENT_CENTER.area.contains(event.position)
+    # Node-id discipline: joins are fresh ids, leaves target present nodes,
+    # moves target present nodes.
+    present = set(trace.initial_nodes)
+    ever = set(trace.initial_nodes)
+    for event in trace.events:
+        if event.kind is MobilityEventKind.JOIN:
+            assert event.node_id not in ever
+            present.add(event.node_id)
+            ever.add(event.node_id)
+        elif event.kind is MobilityEventKind.LEAVE:
+            assert event.node_id in present
+            present.remove(event.node_id)
+        else:
+            assert event.node_id in present
+
+
+@given(st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_zero_scale_freezes_population(seed):
+    trace = generate_campus_trace(
+        STUDENT_CENTER, 600.0, random.Random(seed), frequency_scale=0.0
+    )
+    kinds = {e.kind for e in trace.events}
+    assert MobilityEventKind.JOIN not in kinds
+    assert MobilityEventKind.LEAVE not in kinds
+    assert trace.joining_nodes == []

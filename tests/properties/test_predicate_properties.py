@@ -1,0 +1,114 @@
+"""Property-based tests for predicate/descriptor matching algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.descriptor import DataDescriptor
+from repro.data.predicate import (
+    QuerySpec,
+    between,
+    eq,
+    ge,
+    gt,
+    is_in,
+    le,
+    lt,
+    ne,
+)
+
+values = st.one_of(
+    st.integers(min_value=-1_000_000, max_value=1_000_000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.booleans(),
+)
+
+attr_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=127),
+    min_size=1,
+    max_size=8,
+)
+
+descriptors = st.dictionaries(attr_names, values, min_size=1, max_size=6).map(
+    DataDescriptor
+)
+
+
+@given(descriptors)
+@settings(max_examples=100)
+def test_eq_self_matches(descriptor):
+    """For every attribute, eq(name, value) matches the descriptor."""
+    for name, value in descriptor.items():
+        assert eq(name, value).matches(descriptor)
+
+
+@given(descriptors)
+@settings(max_examples=100)
+def test_eq_and_ne_are_complementary_when_present(descriptor):
+    for name, value in descriptor.items():
+        assert ne(name, value).matches(descriptor) != eq(name, value).matches(
+            descriptor
+        )
+
+
+@given(descriptors)
+@settings(max_examples=100)
+def test_between_value_value_always_matches(descriptor):
+    for name, value in descriptor.items():
+        if isinstance(value, str):
+            continue
+        assert between(name, value, value).matches(descriptor)
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000), st.integers(-1000, 1000))
+@settings(max_examples=100)
+def test_ordered_relations_consistent(value, low, high):
+    descriptor = DataDescriptor({"v": value})
+    if low > high:
+        low, high = high, low
+    in_range = between("v", low, high).matches(descriptor)
+    assert in_range == (ge("v", low).matches(descriptor) and le("v", high).matches(descriptor))
+    assert lt("v", value).matches(descriptor) is False
+    assert gt("v", value).matches(descriptor) is False
+
+
+@given(descriptors)
+@settings(max_examples=100)
+def test_empty_spec_matches_all(descriptor):
+    assert QuerySpec().matches(descriptor)
+
+
+@given(descriptors)
+@settings(max_examples=100)
+def test_conjunction_subset_property(descriptor):
+    """If a spec matches, every sub-spec of it matches too."""
+    predicates = [eq(name, value) for name, value in descriptor.items()]
+    full = QuerySpec(predicates)
+    assert full.matches(descriptor)
+    for i in range(len(predicates)):
+        sub = QuerySpec(predicates[:i] + predicates[i + 1 :])
+        assert sub.matches(descriptor)
+
+
+@given(descriptors)
+@settings(max_examples=100)
+def test_in_with_attribute_value_matches(descriptor):
+    for name, value in descriptor.items():
+        assert is_in(name, (value,)).matches(descriptor)
+
+
+@given(descriptors)
+@settings(max_examples=100)
+def test_stable_key_equals_iff_descriptor_equals(descriptor):
+    rebuilt = DataDescriptor(descriptor.as_dict())
+    assert rebuilt == descriptor
+    assert rebuilt.stable_key() == descriptor.stable_key()
+
+
+@given(descriptors, st.integers(0, 100))
+@settings(max_examples=100)
+def test_chunk_descriptor_roundtrip(descriptor, chunk_id):
+    base = descriptor.item_descriptor()
+    chunk = base.chunk_descriptor(chunk_id)
+    assert chunk.chunk_id == chunk_id
+    assert chunk.item_descriptor() == base

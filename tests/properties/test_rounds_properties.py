@@ -1,0 +1,71 @@
+"""Property-based tests for the round controller's stop rule."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rounds import RoundConfig, RoundController
+from repro.sim.simulator import Simulator
+
+arrival_lists = st.lists(
+    st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    max_size=40,
+)
+
+
+@given(arrival_lists, st.floats(min_value=0.3, max_value=3.0))
+@settings(max_examples=60, deadline=None)
+def test_round_always_ends_after_arrivals_cease(arrivals, window):
+    """With T_r=0 the round must end within ~window+check of the last
+    arrival — never hang."""
+    sim = Simulator()
+    ends = []
+    controller = RoundController(
+        sim,
+        RoundConfig(window_s=window, check_interval_s=0.25),
+        lambda: ends.append(sim.now),
+    )
+    controller.begin_round()
+    for t in arrivals:
+        sim.schedule(t, controller.record_response)
+    sim.run(until=60.0)
+    assert len(ends) == 1
+    last = max(arrivals) if arrivals else 0.0
+    assert ends[0] <= last + window + 0.5 + 1e-6
+
+
+@given(arrival_lists, st.floats(min_value=0.5, max_value=3.0))
+@settings(max_examples=60, deadline=None)
+def test_no_arrival_in_the_window_preceding_the_end(arrivals, window):
+    """T_r = 0 invariant: the round ends only when the trailing window is
+    empty — no recorded arrival may fall in (end - T, end]."""
+    sim = Simulator()
+    ends = []
+    controller = RoundController(
+        sim,
+        RoundConfig(window_s=window, check_interval_s=0.25),
+        lambda: ends.append(sim.now),
+    )
+    controller.begin_round()
+    for t in sorted(arrivals):
+        sim.schedule(t, controller.record_response)
+    sim.run(until=100.0)
+    assert len(ends) == 1
+    end = ends[0]
+    assert not any(end - window < t <= end for t in arrivals)
+
+
+@given(
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=100),
+    st.floats(min_value=0.0, max_value=0.9),
+)
+@settings(max_examples=100)
+def test_continue_rule_matches_definition(new, extra_total, td):
+    sim = Simulator()
+    controller = RoundController(
+        sim, RoundConfig(continue_ratio=td), lambda: None
+    )
+    controller.begin_round()
+    total = new + extra_total
+    expected = total > 0 and (new / total) > td
+    assert controller.should_start_new_round(new, total) == expected

@@ -1,0 +1,92 @@
+"""Property-based tests for data-store invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.descriptor import DataDescriptor
+from repro.data.item import DataItem
+from repro.data.predicate import QuerySpec
+from repro.data.store import DataStore
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+descriptors = st.builds(
+    lambda i: DataDescriptor({"namespace": "t", "data_type": "x", "time": float(i)}),
+    st.integers(0, 200),
+)
+
+
+@given(st.lists(descriptors, max_size=50))
+@settings(max_examples=100)
+def test_metadata_count_equals_distinct_inserts(batch):
+    store = DataStore(Clock())
+    for descriptor in batch:
+        store.insert_metadata(descriptor)
+    assert store.metadata_count() == len(set(batch))
+    assert set(store.all_metadata()) == set(batch)
+
+
+@given(st.lists(descriptors, max_size=50))
+@settings(max_examples=100)
+def test_insert_returns_new_exactly_once_per_descriptor(batch):
+    store = DataStore(Clock())
+    new_count = sum(1 for d in batch if store.insert_metadata(d))
+    assert new_count == len(set(batch))
+
+
+@given(
+    st.lists(descriptors, min_size=1, max_size=30),
+    st.floats(min_value=0.1, max_value=100.0),
+)
+@settings(max_examples=100)
+def test_everything_expires_without_payload(batch, ttl):
+    clock = Clock()
+    store = DataStore(clock, metadata_ttl=ttl)
+    for descriptor in batch:
+        store.insert_metadata(descriptor, has_payload=False)
+    clock.now = ttl + 0.001
+    assert store.metadata_count() == 0
+
+
+@given(st.lists(descriptors, min_size=1, max_size=30))
+@settings(max_examples=100)
+def test_match_all_spec_returns_everything_live(batch):
+    store = DataStore(Clock())
+    for descriptor in batch:
+        store.insert_metadata(descriptor)
+    assert set(store.match_metadata(QuerySpec())) == set(batch)
+
+
+@given(st.integers(1, 500_000), st.integers(64, 1_000_000))
+@settings(max_examples=100, deadline=None)
+def test_chunk_sizes_always_sum_to_item_size(size, chunk_size):
+    item = DataItem(
+        DataDescriptor({"namespace": "m", "data_type": "v", "name": "x"}),
+        size=size,
+        chunk_size=chunk_size,
+    )
+    chunks = item.chunks()
+    assert sum(c.size for c in chunks) == size
+    assert len(chunks) == item.total_chunks
+    assert [c.chunk_id for c in chunks] == list(range(item.total_chunks))
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=31, unique=True))
+@settings(max_examples=100)
+def test_chunk_ids_of_sorted_regardless_of_insert_order(chunk_ids):
+    store = DataStore(Clock())
+    item = DataItem(
+        DataDescriptor({"namespace": "m", "data_type": "v", "name": "x"}),
+        size=32 * 1000,
+        chunk_size=1000,
+    )
+    for chunk_id in chunk_ids:
+        store.insert_chunk(item.chunk(chunk_id))
+    assert store.chunk_ids_of(item.descriptor) == sorted(chunk_ids)

@@ -1,0 +1,109 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.event import DEFAULT_PRIORITY, EventQueue
+
+
+def test_empty_queue_is_falsy():
+    queue = EventQueue()
+    assert len(queue) == 0
+    assert not queue
+
+
+def test_pop_returns_earliest_event():
+    queue = EventQueue()
+    order = []
+    queue.push(2.0, order.append, ("b",))
+    queue.push(1.0, order.append, ("a",))
+    queue.push(3.0, order.append, ("c",))
+    while queue:
+        queue.pop().fire()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_fifo_order():
+    queue = EventQueue()
+    order = []
+    for tag in ("first", "second", "third"):
+        queue.push(1.0, order.append, (tag,))
+    while queue:
+        queue.pop().fire()
+    assert order == ["first", "second", "third"]
+
+
+def test_priority_breaks_time_ties():
+    queue = EventQueue()
+    order = []
+    queue.push(1.0, order.append, ("low",), priority=5)
+    queue.push(1.0, order.append, ("high",), priority=-5)
+    assert queue.pop().args == ("high",)
+    assert queue.pop().args == ("low",)
+    assert not order  # fire() was never called
+
+
+def test_pop_empty_raises():
+    queue = EventQueue()
+    with pytest.raises(SimulationError):
+        queue.pop()
+
+
+def test_cancel_removes_event_from_active_count():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    assert len(queue) == 1
+    queue.cancel(event)
+    assert len(queue) == 0
+    with pytest.raises(SimulationError):
+        queue.pop()
+
+
+def test_cancel_is_idempotent():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.cancel(event)
+    queue.cancel(event)
+    assert len(queue) == 0
+
+
+def test_cancelled_event_skipped_by_pop():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.cancel(first)
+    assert queue.pop().time == 2.0
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(5.0, lambda: None)
+    assert queue.peek_time() == 1.0
+    queue.cancel(first)
+    assert queue.peek_time() == 5.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_clear_discards_everything():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.clear()
+    assert len(queue) == 0
+    assert queue.peek_time() is None
+
+
+def test_event_fire_invokes_callback_with_args():
+    queue = EventQueue()
+    seen = []
+    event = queue.push(0.0, lambda a, b: seen.append((a, b)), (1, 2))
+    event.fire()
+    assert seen == [(1, 2)]
+
+
+def test_default_priority_constant():
+    assert DEFAULT_PRIORITY == 0

@@ -1,0 +1,115 @@
+"""Unit tests for timers and periodic tasks."""
+
+import pytest
+
+from repro.sim.process import PeriodicTask, Timer
+
+
+def test_timer_fires_once(sim):
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(2.0)
+    sim.run()
+    assert fired == [2.0]
+
+
+def test_timer_restart_cancels_previous(sim):
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(1.0)
+    timer.start(3.0)
+    sim.run()
+    assert fired == [3.0]
+
+
+def test_timer_cancel(sim):
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(1.0)
+    timer.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_timer_armed_property(sim):
+    timer = Timer(sim, lambda: None)
+    assert not timer.armed
+    timer.start(1.0)
+    assert timer.armed
+    sim.run()
+    assert not timer.armed
+
+
+def test_timer_can_rearm_from_callback(sim):
+    fired = []
+    holder = {}
+
+    def on_fire():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            holder["timer"].start(1.0)
+
+    holder["timer"] = Timer(sim, on_fire)
+    holder["timer"].start(1.0)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_periodic_task_ticks_at_interval(sim):
+    ticks = []
+    task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+    task.start()
+    sim.run(until=3.5)
+    task.stop()
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_periodic_task_initial_delay(sim):
+    ticks = []
+    task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+    task.start(initial_delay=0.25)
+    sim.run(until=2.5)
+    task.stop()
+    assert ticks == [0.25, 1.25, 2.25]
+
+
+def test_periodic_task_stop_halts_ticks(sim):
+    ticks = []
+    task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+    task.start()
+    sim.run(until=1.5)
+    task.stop()
+    sim.run(until=5.0)
+    assert ticks == [1.0]
+
+
+def test_periodic_task_stop_from_callback(sim):
+    ticks = []
+    task = PeriodicTask(sim, 1.0, lambda: (ticks.append(sim.now), task.stop()))
+    task.start()
+    sim.run(until=10.0)
+    assert len(ticks) == 1
+
+
+def test_periodic_task_rejects_bad_interval(sim):
+    with pytest.raises(ValueError):
+        PeriodicTask(sim, 0.0, lambda: None)
+
+
+def test_periodic_task_start_idempotent(sim):
+    ticks = []
+    task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+    task.start()
+    task.start()
+    sim.run(until=2.5)
+    task.stop()
+    assert ticks == [1.0, 2.0]
+
+
+def test_periodic_task_running_property(sim):
+    task = PeriodicTask(sim, 1.0, lambda: None)
+    assert not task.running
+    task.start()
+    assert task.running
+    task.stop()
+    assert not task.running

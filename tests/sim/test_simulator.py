@@ -1,0 +1,127 @@
+"""Unit tests for the simulator kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.simulator import Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_at_in_past_rejected(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(0.5, lambda: None)
+
+
+def test_run_advances_clock_to_event_times(sim):
+    times = []
+    sim.schedule(1.5, lambda: times.append(sim.now))
+    sim.schedule(0.5, lambda: times.append(sim.now))
+    processed = sim.run()
+    assert processed == 2
+    assert times == [0.5, 1.5]
+    assert sim.now == 1.5
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run(until=2.0)
+    assert fired == [1]
+    # Clock advanced to the until bound even though the queue has more.
+    assert sim.now == 2.0
+    sim.run(until=10.0)
+    assert fired == [1, 5]
+
+
+def test_run_until_advances_clock_when_queue_drains(sim):
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+
+
+def test_events_can_schedule_more_events(sim):
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_stop_halts_processing(sim):
+    fired = []
+
+    def first():
+        fired.append(1)
+        sim.stop()
+
+    sim.schedule(1.0, first)
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+    assert sim.pending_events == 1
+
+
+def test_max_events_guard(sim):
+    def forever():
+        sim.schedule(0.1, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_cancel_scheduled_event(sim):
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    sim.cancel(event)
+    sim.run()
+    assert fired == []
+
+
+def test_run_not_reentrant(sim):
+    def nested():
+        sim.run()
+
+    sim.schedule(0.0, nested)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_reset_rewinds_clock_and_queue(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.schedule(4.0, lambda: None)
+    sim.reset()
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+
+
+def test_same_time_priority_order(sim):
+    order = []
+    sim.schedule(1.0, lambda: order.append("normal"))
+    sim.schedule(1.0, lambda: order.append("urgent"), priority=-1)
+    sim.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_pending_events_counts_active(sim):
+    sim.schedule(1.0, lambda: None)
+    event = sim.schedule(2.0, lambda: None)
+    sim.cancel(event)
+    assert sim.pending_events == 1
