@@ -1,6 +1,6 @@
 """``python -m repro`` entry point."""
 
-from repro.cli import main
+from repro.cli import _main_guarded
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(_main_guarded())

@@ -6,6 +6,13 @@ Usage::
     python -m repro fig4
     python -m repro fig13_14 --seeds 5 --scale 1.0
     python -m repro all --seeds 2 --scale 0.25
+
+Observability::
+
+    python -m repro fig4 --trace out.jsonl   # JSONL event trace of the run
+    python -m repro fig4 --metrics           # wall-time / events-per-second
+                                             # profile after the tables
+    python -m repro inspect out.jsonl        # summarize a trace file
 """
 
 from __future__ import annotations
@@ -29,8 +36,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        help="figure id (see `list`), `all`, `list`, or `report` "
-        "(rebuild EXPERIMENTS.md from benchmarks/results)",
+        help="figure id (see `list`), `all`, `list`, `report` "
+        "(rebuild EXPERIMENTS.md from benchmarks/results), or "
+        "`inspect <trace.jsonl>` (summarize a trace file)",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="trace file to read (only for `inspect`)",
     )
     parser.add_argument(
         "--seeds",
@@ -44,7 +58,64 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="workload scale factor (paper: 1.0)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL event trace of every simulation to FILE",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="profile the run (wall time, events/sec, peak queue depth)",
+    )
+    parser.add_argument(
+        "--top-nodes",
+        type=int,
+        default=10,
+        help="how many nodes `inspect` lists in its per-node ranking",
+    )
     return parser
+
+
+def _run_figures(args: argparse.Namespace) -> int:
+    """Run one figure (or all), honouring --trace / --metrics."""
+    from contextlib import ExitStack
+
+    from repro.obs.profile import RunProfiler
+    from repro.obs.trace import JsonlSink, global_sink
+
+    if args.figure != "all" and args.figure not in REGISTRY:
+        print(
+            f"unknown figure {args.figure!r}; try `python -m repro list`",
+            file=sys.stderr,
+        )
+        return 2
+
+    profiler = RunProfiler() if args.metrics else None
+    with ExitStack() as stack:
+        if args.trace:
+            try:
+                sink = JsonlSink(args.trace)
+            except OSError as exc:
+                print(f"cannot write trace file {args.trace}: {exc}", file=sys.stderr)
+                return 2
+            stack.enter_context(global_sink(sink))
+        if profiler is not None:
+            stack.enter_context(profiler.activate())
+        if args.figure == "all":
+            for figure_id, module in REGISTRY.items():
+                print(f"== {figure_id} ==")
+                print(module.main())
+                print()
+        else:
+            print(REGISTRY[args.figure].main())
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if profiler is not None:
+        print()
+        print(profiler.render())
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -66,23 +137,36 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         return report_main([])
 
-    if args.figure == "all":
-        for figure_id, module in REGISTRY.items():
-            print(f"== {figure_id} ==")
-            print(module.main())
-            print()
+    if args.figure == "inspect":
+        if not args.path:
+            print("inspect needs a trace file: repro inspect out.jsonl", file=sys.stderr)
+            return 2
+        if not os.path.exists(args.path):
+            print(f"no such trace file: {args.path}", file=sys.stderr)
+            return 2
+        from repro.obs.inspect import inspect_file
+
+        try:
+            print(inspect_file(args.path, top_nodes=args.top_nodes))
+        except ValueError as exc:
+            # json.JSONDecodeError is a ValueError: not a JSONL trace.
+            print(f"not a JSONL trace file: {args.path} ({exc})", file=sys.stderr)
+            return 2
         return 0
 
-    module = REGISTRY.get(args.figure)
-    if module is None:
-        print(
-            f"unknown figure {args.figure!r}; try `python -m repro list`",
-            file=sys.stderr,
-        )
-        return 2
-    print(module.main())
-    return 0
+    return _run_figures(args)
+
+
+def _main_guarded(argv: Optional[List[str]] = None) -> int:
+    """`python -m repro` entry: exit cleanly when the pager closes early."""
+    try:
+        return main(argv)
+    except BrokenPipeError:
+        # Downstream `head`/`less` closed the pipe; suppress the shutdown
+        # flush error too, then report success like other unix filters.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(_main_guarded())

@@ -29,46 +29,51 @@ def _load(assignment: Dict[int, Tuple[NodeId, int]], neighbor: NodeId) -> int:
     return sum(hop for (n, hop) in assignment.values() if n == neighbor)
 
 
-def assign_chunks(
+def _initial_assignment(
     options: ChunkOptions,
-    rng: Optional[random.Random] = None,
-) -> Dict[NodeId, Set[int]]:
-    """Assign each chunk to one neighbor, balancing hop-weighted load.
+    rng: Optional[random.Random],
+    load_aware: bool,
+) -> Tuple[Dict[int, Tuple[NodeId, int]], Dict[NodeId, int]]:
+    """Step 1: a least-hop assignment plus its per-neighbor loads.
 
-    Args:
-        options: Per-chunk candidate ``(neighbor, hop_count)`` pairs.
-            Chunks with no options are skipped (unreachable right now).
-        rng: Tie-breaking source; deterministic order when omitted.
-
-    Returns:
-        Mapping neighbor → set of chunk ids to request from it.
+    ``load_aware`` breaks least-hop ties toward the currently least-loaded
+    neighbor; otherwise ties go to the lowest neighbor id (the pure greedy
+    baseline of the paper's step 1).
     """
-    # chunk -> (neighbor, hop) currently assigned
     assignment: Dict[int, Tuple[NodeId, int]] = {}
     per_neighbor_load: Dict[NodeId, int] = {}
-
-    # Step 1: least-hop initial assignment, breaking ties toward the
-    # currently least-loaded neighbor so the start point is already decent.
     for chunk_id in sorted(options):
         candidates = list(options[chunk_id])
         if not candidates:
             continue
         best_hop = min(hop for _, hop in candidates)
         least = [(n, hop) for n, hop in candidates if hop == best_hop]
-        least.sort(key=lambda pair: (per_neighbor_load.get(pair[0], 0), pair[0]))
-        if rng is not None and len(least) > 1:
-            lowest = least[0][0]
-            tied = [p for p in least if per_neighbor_load.get(p[0], 0) == per_neighbor_load.get(lowest, 0)]
-            choice = rng.choice(tied)
+        if load_aware:
+            least.sort(key=lambda pair: (per_neighbor_load.get(pair[0], 0), pair[0]))
+            if rng is not None and len(least) > 1:
+                lowest = least[0][0]
+                tied = [
+                    p
+                    for p in least
+                    if per_neighbor_load.get(p[0], 0)
+                    == per_neighbor_load.get(lowest, 0)
+                ]
+                choice = rng.choice(tied)
+            else:
+                choice = least[0]
         else:
-            choice = least[0]
+            choice = min(least, key=lambda pair: pair[0])
         assignment[chunk_id] = choice
         per_neighbor_load[choice[0]] = per_neighbor_load.get(choice[0], 0) + choice[1]
+    return assignment, per_neighbor_load
 
-    if not assignment:
-        return {}
 
-    # Step 2: local moves while the maximum load strictly decreases.
+def _improve(
+    assignment: Dict[int, Tuple[NodeId, int]],
+    per_neighbor_load: Dict[NodeId, int],
+    options: ChunkOptions,
+) -> None:
+    """Step 2: local moves while the maximum load strictly decreases."""
     for _ in range(len(assignment) * max(1, len(per_neighbor_load))):
         max_neighbor = max(per_neighbor_load, key=lambda n: (per_neighbor_load[n], n))
         max_load = per_neighbor_load[max_neighbor]
@@ -94,6 +99,38 @@ def assign_chunks(
             del per_neighbor_load[owner]
         per_neighbor_load[neighbor] = per_neighbor_load.get(neighbor, 0) + hop
         assignment[chunk_id] = (neighbor, hop)
+
+
+def assign_chunks(
+    options: ChunkOptions,
+    rng: Optional[random.Random] = None,
+) -> Dict[NodeId, Set[int]]:
+    """Assign each chunk to one neighbor, balancing hop-weighted load.
+
+    The local search only ever moves chunks off the *currently* most
+    loaded neighbor, so a single start point can plateau above solutions
+    a different start reaches trivially.  Running the improvement loop
+    from both the load-aware start and the pure least-hop greedy start
+    (and keeping the better result) guarantees the outcome is never worse
+    than plain greedy while preserving the balanced behaviour.
+
+    Args:
+        options: Per-chunk candidate ``(neighbor, hop_count)`` pairs.
+            Chunks with no options are skipped (unreachable right now).
+        rng: Tie-breaking source; deterministic order when omitted.
+
+    Returns:
+        Mapping neighbor → set of chunk ids to request from it.
+    """
+    assignment, per_neighbor_load = _initial_assignment(options, rng, load_aware=True)
+    if not assignment:
+        return {}
+    _improve(assignment, per_neighbor_load, options)
+
+    baseline, baseline_load = _initial_assignment(options, None, load_aware=False)
+    _improve(baseline, baseline_load, options)
+    if max(baseline_load.values()) < max(per_neighbor_load.values()):
+        assignment = baseline
 
     result: Dict[NodeId, Set[int]] = {}
     for chunk_id, (neighbor, _) in assignment.items():

@@ -74,7 +74,7 @@ class DiscoverySession:
         self.redundancy_detection = redundancy_detection
         self.on_complete = on_complete
         self.controller = RoundController(
-            device.sim, self.round_config, self._round_ended
+            device.sim, self.round_config, self._round_ended, node=device.node_id
         )
         self.received: Set[DataDescriptor] = set()
         self.received_payloads: Dict[DataDescriptor, Chunk] = {}
@@ -222,7 +222,7 @@ class RetrievalSession:
         self.max_attempts = max_attempts
         self.on_complete = on_complete
         self.controller = RoundController(
-            device.sim, self.round_config, self._cdi_round_ended
+            device.sim, self.round_config, self._cdi_round_ended, node=device.node_id
         )
         self.have: Set[int] = set()
         self.result: Optional[SessionResult] = None
@@ -386,7 +386,7 @@ class MdrSession:
         self.max_empty_rounds = max_empty_rounds
         self.on_complete = on_complete
         self.controller = RoundController(
-            device.sim, self.round_config, self._round_ended
+            device.sim, self.round_config, self._round_ended, node=device.node_id
         )
         self.have: Set[int] = set()
         self.result: Optional[SessionResult] = None

@@ -43,7 +43,11 @@ class DiscoveryEngine:
 
     def __init__(self, device: "Device") -> None:
         self.device = device
-        self.lqt = LingeringQueryTable(clock=lambda: device.sim.now)
+        self.lqt = LingeringQueryTable(
+            clock=lambda: device.sim.now,
+            trace=device.sim.trace,
+            node=device.node_id,
+        )
         self.recent = RecentResponses()
 
     # ------------------------------------------------------------------
@@ -83,6 +87,16 @@ class DiscoveryEngine:
             ),
             query.message_id,
         )
+        trace = device.sim.trace
+        if trace.enabled:
+            trace.emit(
+                "query_issued",
+                node=device.node_id,
+                query_id=query.message_id,
+                round=round_index,
+                want_payload=want_payload,
+                ttl=ttl,
+            )
         device.face.send(
             query, query.wire_size(), receivers=None, kind="query", reliable=True
         )
@@ -122,6 +136,15 @@ class DiscoveryEngine:
             receiver_ids=None,
             bloom=entry.bloom.copy(),
         )
+        trace = device.sim.trace
+        if trace.enabled:
+            trace.emit(
+                "query_forwarded",
+                node=device.node_id,
+                query_id=query.message_id,
+                hop=forwarded.hop_count,
+                responded=sent_keys,
+            )
         device.face.send(
             forwarded,
             forwarded.wire_size(),
@@ -136,12 +159,23 @@ class DiscoveryEngine:
         """Send response messages for matching local content; returns count."""
         device = self.device
         bloom = entry.bloom
+        trace = device.sim.trace
         if query.want_payload:
+            candidates = list(device.store.match_chunks(query.spec))
             chunks = [
                 chunk
-                for chunk in device.store.match_chunks(query.spec)
+                for chunk in candidates
                 if chunk.descriptor.stable_key() not in bloom
             ]
+            if trace.enabled and candidates:
+                # Prune hits = matches the query's filter already covers.
+                trace.emit(
+                    "bloom_prune",
+                    node=device.node_id,
+                    query_id=query.message_id,
+                    hits=len(candidates) - len(chunks),
+                    misses=len(chunks),
+                )
             if not chunks:
                 return 0
             for chunk in chunks:
@@ -150,11 +184,20 @@ class DiscoveryEngine:
                 chunks, frozenset({query.sender_id}), query.round_index
             )
             return len(chunks)
+        candidates = list(device.store.match_metadata(query.spec))
         matches = [
             descriptor
-            for descriptor in device.store.match_metadata(query.spec)
+            for descriptor in candidates
             if descriptor.stable_key() not in bloom
         ]
+        if trace.enabled and candidates:
+            trace.emit(
+                "bloom_prune",
+                node=device.node_id,
+                query_id=query.message_id,
+                hits=len(candidates) - len(matches),
+                misses=len(matches),
+            )
         if not matches:
             return 0
         for descriptor in matches:
@@ -229,6 +272,16 @@ class DiscoveryEngine:
         )
         # Own responses are never re-processed when overheard back.
         self.recent.seen_before(response.message_id)
+        trace = device.sim.trace
+        if trace.enabled:
+            trace.emit(
+                "response_sent",
+                node=device.node_id,
+                response_id=response.message_id,
+                entries=len(entries),
+                payloads=len(payloads),
+                size=response.wire_size(),
+            )
         device.face.send(
             response,
             response.wire_size(),
@@ -341,6 +394,16 @@ class DiscoveryEngine:
             entries=tuple(union_entries),
             payloads=tuple(union_payloads.values()),
         )
+        trace = device.sim.trace
+        if trace.enabled:
+            trace.emit(
+                "mixedcast_merge",
+                node=device.node_id,
+                response_id=response.message_id,
+                entries=len(union_entries),
+                payloads=len(union_payloads),
+                receivers=len(receivers),
+            )
         device.face.send(
             forwarded,
             forwarded.wire_size(),

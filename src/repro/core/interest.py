@@ -104,7 +104,11 @@ class InterestEngine:
     def __init__(self, device: "Device") -> None:
         self.device = device
         #: The PIT; entries are *consumed* on first matching Data.
-        self.pit = LingeringQueryTable(clock=lambda: device.sim.now)
+        self.pit = LingeringQueryTable(
+            clock=lambda: device.sim.now,
+            trace=device.sim.trace,
+            node=device.node_id,
+        )
         #: Nonce-style dedup, separate from the PIT: a consumed entry must
         #: not make redundant flooded copies look new again (NDN keeps a
         #: dead-nonce list for exactly this).

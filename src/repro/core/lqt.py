@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, Optional, Set
 
 from repro.net.topology import NodeId
+from repro.obs.trace import TraceBus
 
 
 @dataclass
@@ -39,11 +40,34 @@ class LingeringEntry:
 
 
 class LingeringQueryTable:
-    """Query-id keyed table with lazy expiration."""
+    """Query-id keyed table with lazy expiration.
 
-    def __init__(self, clock: Callable[[], float]) -> None:
+    When given a trace bus (and the owning node id), the table publishes
+    ``lqt_linger`` on insertion and ``lqt_expire`` when lazy purging drops
+    an aged-out entry.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        trace: Optional[TraceBus] = None,
+        node: Optional[NodeId] = None,
+    ) -> None:
         self._clock = clock
+        self._trace = trace
+        self._node = node
         self._entries: Dict[int, LingeringEntry] = {}
+
+    def _emit(self, kind: str, query_id: int, entry: LingeringEntry) -> None:
+        trace = self._trace
+        if trace is not None and trace.enabled:
+            trace.emit(
+                kind,
+                node=self._node,
+                query_id=query_id,
+                origin=entry.is_origin,
+                expires_at=entry.expires_at,
+            )
 
     def __len__(self) -> int:
         self._purge()
@@ -56,12 +80,14 @@ class LingeringQueryTable:
             return False
         if entry.expired(self._clock()):
             del self._entries[query_id]
+            self._emit("lqt_expire", query_id, entry)
             return False
         return True
 
     def insert(self, entry: LingeringEntry, query_id: int) -> None:
         """Insert a new lingering query (replaces an expired duplicate)."""
         self._entries[query_id] = entry
+        self._emit("lqt_linger", query_id, entry)
 
     def get(self, query_id: int) -> Optional[LingeringEntry]:
         """The live entry for this query id, or None."""
@@ -82,6 +108,7 @@ class LingeringQueryTable:
         now = self._clock()
         dead = [qid for qid, entry in self._entries.items() if entry.expired(now)]
         for qid in dead:
+            self._emit("lqt_expire", qid, self._entries[qid])
             del self._entries[qid]
 
 

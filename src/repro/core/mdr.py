@@ -28,7 +28,11 @@ class MdrEngine:
 
     def __init__(self, device: "Device") -> None:
         self.device = device
-        self.lqt = LingeringQueryTable(clock=lambda: device.sim.now)
+        self.lqt = LingeringQueryTable(
+            clock=lambda: device.sim.now,
+            trace=device.sim.trace,
+            node=device.node_id,
+        )
         self.recent = RecentResponses()
         #: Chunk frames we queued but that may still be withdrawn if a
         #: duplicate is overheard before they reach the air.

@@ -34,12 +34,21 @@ if TYPE_CHECKING:
     from repro.node.device import Device
 
 
+def _item_key(item: DataDescriptor) -> str:
+    """Compact JSON-safe identifier of an item for trace events."""
+    return item.stable_key().hex()[:12]
+
+
 class CdiEngine:
     """Phase 1: on-demand per-chunk distance-vector construction."""
 
     def __init__(self, device: "Device") -> None:
         self.device = device
-        self.lqt = LingeringQueryTable(clock=lambda: device.sim.now)
+        self.lqt = LingeringQueryTable(
+            clock=lambda: device.sim.now,
+            trace=device.sim.trace,
+            node=device.node_id,
+        )
         self.recent = RecentResponses()
 
     # ------------------------------------------------------------------
@@ -69,6 +78,16 @@ class CdiEngine:
             ),
             query.message_id,
         )
+        trace = device.sim.trace
+        if trace.enabled:
+            trace.emit(
+                "query_issued",
+                node=device.node_id,
+                query_id=query.message_id,
+                proto="cdi",
+                item=_item_key(item),
+                ttl=ttl,
+            )
         device.face.send(
             query, query.wire_size(), receivers=None, kind="cdi_query", reliable=True
         )
@@ -97,6 +116,15 @@ class CdiEngine:
         if not device.may_forward_flood(query.hop_count):
             return
         forwarded = query.rewritten(sender_id=device.node_id, receiver_ids=None)
+        trace = device.sim.trace
+        if trace.enabled:
+            trace.emit(
+                "query_forwarded",
+                node=device.node_id,
+                query_id=query.message_id,
+                proto="cdi",
+                hop=forwarded.hop_count,
+            )
         device.face.send(
             forwarded,
             forwarded.wire_size(),
@@ -154,9 +182,21 @@ class CdiEngine:
         # DS lookup: learn routes (hop+1 via the transmitting neighbor),
         # also from overheard responses.
         ttl = device.config.protocol.cdi_ttl_s
+        improved = 0
         for chunk_id, hop_count in response.pairs:
-            device.cdi_table.update(
+            if device.cdi_table.update(
                 response.item, chunk_id, hop_count + 1, response.sender_id, ttl
+            ):
+                improved += 1
+        trace = device.sim.trace
+        if trace.enabled and improved:
+            trace.emit(
+                "cdi_update",
+                node=device.node_id,
+                item=_item_key(response.item),
+                improved=improved,
+                pairs=len(response.pairs),
+                via=response.sender_id,
             )
         if not addressed:
             return
@@ -211,8 +251,32 @@ class ChunkEngine:
 
     def __init__(self, device: "Device") -> None:
         self.device = device
-        self.lqt = LingeringQueryTable(clock=lambda: device.sim.now)
+        self.lqt = LingeringQueryTable(
+            clock=lambda: device.sim.now,
+            trace=device.sim.trace,
+            node=device.node_id,
+        )
         self.recent = RecentResponses()
+
+    def _emit_assignment(
+        self,
+        item: DataDescriptor,
+        assignment: Dict[NodeId, Set[int]],
+        requested: int,
+        divided: bool,
+    ) -> None:
+        trace = self.device.sim.trace
+        if trace.enabled and assignment:
+            trace.emit(
+                "chunk_assignment",
+                node=self.device.node_id,
+                item=_item_key(item),
+                requested=requested,
+                assigned=sum(len(ids) for ids in assignment.values()),
+                neighbors=len(assignment),
+                max_per_neighbor=max(len(ids) for ids in assignment.values()),
+                divided=divided,
+            )
 
     # ------------------------------------------------------------------
     # Consumer side
@@ -235,6 +299,7 @@ class ChunkEngine:
             ttl = device.config.protocol.query_ttl_s
         options = self._options(item, chunk_ids, exclude=None)
         assignment = assign_chunks(options, device.rng)
+        self._emit_assignment(item, assignment, len(chunk_ids), divided=False)
         expires_at = device.sim.now + ttl
         for neighbor, ids in assignment.items():
             query = ChunkQuery(
@@ -304,14 +369,26 @@ class ChunkEngine:
             return
 
         # Serve chunks held locally.
+        trace = device.sim.trace
         remaining: Set[int] = set()
+        served = 0
         for chunk_id in query.chunk_ids:
             chunk = device.store.get_chunk(query.item.chunk_descriptor(chunk_id))
             if chunk is not None:
                 entry.forwarded_keys.add(chunk_id)
+                served += 1
                 self._emit_chunk(chunk, frozenset({query.sender_id}))
             else:
                 remaining.add(chunk_id)
+        if trace.enabled and served:
+            trace.emit(
+                "chunk_served",
+                node=device.node_id,
+                item=_item_key(query.item),
+                query_id=query.message_id,
+                served=served,
+                requested=len(query.chunk_ids),
+            )
         if not remaining:
             return
 
@@ -319,6 +396,7 @@ class ChunkEngine:
         # never back toward the upstream.
         options = self._options(query.item, remaining, exclude=query.sender_id)
         assignment = assign_chunks(options, device.rng)
+        self._emit_assignment(query.item, assignment, len(remaining), divided=True)
         for neighbor, ids in assignment.items():
             sub_query = query.divided(
                 sender_id=device.node_id,

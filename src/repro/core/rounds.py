@@ -60,15 +60,20 @@ class RoundController:
         sim: Simulator,
         config: RoundConfig,
         on_round_end: Callable[[], None],
+        node: Optional[int] = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.on_round_end = on_round_end
+        self.node = node
         self.round_index = 0
         self._round_start = 0.0
         self._arrivals: List[float] = []
         self._task = PeriodicTask(sim, config.check_interval_s, self._check)
         self._active = False
+        self._duration_hist = sim.metrics.histogram(
+            "rounds.duration_s", (0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0)
+        )
 
     @property
     def active(self) -> bool:
@@ -84,6 +89,9 @@ class RoundController:
         self._active = True
         if not self._task.running:
             self._task.start(self.config.check_interval_s)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit("round_begin", node=self.node, round=self.round_index)
         return self.round_index
 
     def record_response(self) -> None:
@@ -122,4 +130,15 @@ class RoundController:
         if ratio <= self.config.stop_ratio:
             self._active = False
             self._task.stop()
+            duration = now - self._round_start
+            self._duration_hist.observe(duration)
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.emit(
+                    "round_end",
+                    node=self.node,
+                    round=self.round_index,
+                    responses=total,
+                    duration=duration,
+                )
             self.on_round_end()

@@ -8,11 +8,13 @@ drops 100% → 72.3% as hops grow 1 → 5; latency/overhead grow from
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.rounds import RoundConfig
 from repro.experiments.figures.common import pdd_experiment
-from repro.experiments.runner import configured_seeds, render_table
+from repro.experiments.runner import configured_seeds, render_table, scale_factor
+from repro.obs.profile import active_profiler
 
 DEFAULT_GRID_SIZES = (3, 5, 7, 9, 11)
 
@@ -30,18 +32,25 @@ def run(
         seeds = configured_seeds()
     table = []
     single_round = RoundConfig(max_rounds=1)
+    profiler = active_profiler()
     for size in grid_sizes:
         recalls, latencies, overheads = [], [], []
         for seed in seeds:
-            outcome = pdd_experiment(
-                seed,
-                rows=size,
-                cols=size,
-                metadata_count=entries_per_node * size * size,
-                round_config=single_round,
-                ack=True,
-                sim_cap_s=120.0,
+            labelled = (
+                profiler.label(f"{size}x{size} seed {seed}")
+                if profiler is not None
+                else nullcontext()
             )
+            with labelled:
+                outcome = pdd_experiment(
+                    seed,
+                    rows=size,
+                    cols=size,
+                    metadata_count=entries_per_node * size * size,
+                    round_config=single_round,
+                    ack=True,
+                    sim_cap_s=120.0,
+                )
             recalls.append(outcome.first.recall)
             latencies.append(outcome.first.result.latency)
             overheads.append(outcome.total_overhead_bytes / 1e6)
@@ -59,8 +68,9 @@ def run(
 
 
 def main() -> str:
-    """Render the figure's table."""
-    rows = run()
+    """Render the figure's table (honours ``REPRO_SCALE`` / ``--scale``)."""
+    entries = max(10, round(ENTRIES_PER_NODE * scale_factor()))
+    rows = run(entries_per_node=entries)
     return render_table(
         "Fig. 4 — single-round PDD (with ack) vs grid size",
         ["grid", "max_hops", "recall", "latency_s", "overhead_mb"],

@@ -62,11 +62,14 @@ class AggregateMetrics:
         )
 
     def as_row(self) -> Dict[str, float]:
-        """Flat dict for table rendering."""
+        """Flat dict for table rendering (mean ± std, as the paper plots)."""
         return {
             "recall": round(self.recall_mean, 3),
+            "recall_std": round(self.recall_std, 3),
             "latency_s": round(self.latency_mean, 2),
+            "latency_std": round(self.latency_std, 2),
             "overhead_mb": round(self.overhead_mb_mean, 2),
+            "overhead_mb_std": round(self.overhead_mb_std, 2),
             "rounds": round(self.rounds_mean, 1),
         }
 

@@ -12,6 +12,7 @@ import os
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.experiments.metrics import AggregateMetrics, TrialMetrics
+from repro.obs.profile import active_profiler
 
 #: Per the paper: "results are averaged over 5 runs".
 DEFAULT_SEEDS = (1, 2, 3, 4, 5)
@@ -41,10 +42,22 @@ def scale_factor(default: float = 1.0) -> float:
 
 
 def run_trials(trial: TrialFn, seeds: Optional[Iterable[int]] = None) -> AggregateMetrics:
-    """Run ``trial`` per seed and aggregate."""
+    """Run ``trial`` per seed and aggregate.
+
+    When a :class:`repro.obs.profile.RunProfiler` is active (CLI
+    ``--metrics``), each trial's simulator runs are labelled with its seed
+    so the profile reads per-trial.
+    """
     if seeds is None:
         seeds = configured_seeds()
-    results = [trial(seed) for seed in seeds]
+    profiler = active_profiler()
+    results = []
+    for seed in seeds:
+        if profiler is not None:
+            with profiler.label(f"seed {seed}"):
+                results.append(trial(seed))
+        else:
+            results.append(trial(seed))
     return AggregateMetrics.from_trials(results)
 
 

@@ -99,6 +99,7 @@ class BroadcastFace:
             payload_size=payload_size,
             receivers=receivers,
             kind=kind,
+            enqueued_at=self.sim.now,
         )
         if reliable:
             ack_from = receivers if receivers is not None else frozenset(self.neighbors())

@@ -87,7 +87,13 @@ class BroadcastMedium:
         self.sim = sim
         self.topology = topology
         self.rng = rng
-        self.stats = stats if stats is not None else NetworkStats()
+        # Default stats register their counters on the simulator's metrics
+        # registry so one `sim.metrics` snapshot covers the whole stack.
+        self.stats = stats if stats is not None else NetworkStats(sim.metrics)
+        self._latency_hist = self.stats.registry.histogram(
+            "net.per_hop_latency_s",
+            (0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0),
+        )
         self.broadcast_rate_bps = broadcast_rate_bps
         self.preamble_s = preamble_s
         self.base_loss = base_loss
@@ -166,6 +172,17 @@ class BroadcastMedium:
         end = now + duration
         tx = _Transmission(sender=frame.sender, start=now, end=end, frame=frame)
         self.stats.record_transmission(frame.kind, frame.size, sender=frame.sender)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(
+                "frame_sent",
+                node=frame.sender,
+                frame_id=frame.frame_id,
+                frame_kind=frame.kind,
+                size=frame.size,
+                retx=frame.retransmission,
+                airtime=duration,
+            )
 
         # Half duplex: starting to transmit ruins our own in-progress
         # receptions.
@@ -213,15 +230,54 @@ class BroadcastMedium:
             return
         if reception is None:
             return
+        trace = self.sim.trace
         if reception.ruined_by_busy:
-            self.stats.frames_lost_busy_receiver += 1
+            self.stats.record_loss("busy_receiver")
+            if trace.enabled:
+                trace.emit(
+                    "frame_lost",
+                    node=receiver,
+                    frame_id=tx.frame.frame_id,
+                    sender=tx.sender,
+                    reason="busy_receiver",
+                )
             return
         if reception.ruined_by_collision:
-            self.stats.frames_lost_collision += 1
+            self.stats.record_loss("collision")
+            if trace.enabled:
+                trace.emit(
+                    "frame_lost",
+                    node=receiver,
+                    frame_id=tx.frame.frame_id,
+                    sender=tx.sender,
+                    reason="collision",
+                )
             return
         if self.base_loss > 0 and self.rng.random() < self.base_loss:
-            self.stats.frames_lost_random += 1
+            self.stats.record_loss("random")
+            if trace.enabled:
+                trace.emit(
+                    "frame_lost",
+                    node=receiver,
+                    frame_id=tx.frame.frame_id,
+                    sender=tx.sender,
+                    reason="random",
+                )
             return
-        self.stats.frames_delivered += 1
-        self.stats.record_reception(receiver, tx.frame.size)
+        self.stats.record_delivery(receiver, tx.frame.size)
+        # Per-hop latency: enqueue (when stamped by the sending face) or
+        # transmission start, to delivery.
+        enqueued = tx.frame.enqueued_at
+        self._latency_hist.observe(
+            self.sim.now - (enqueued if enqueued is not None else tx.start)
+        )
+        if trace.enabled:
+            trace.emit(
+                "frame_delivered",
+                node=receiver,
+                frame_id=tx.frame.frame_id,
+                sender=tx.sender,
+                frame_kind=tx.frame.kind,
+                size=tx.frame.size,
+            )
         deliver(tx.frame)

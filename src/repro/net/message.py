@@ -38,6 +38,9 @@ class Frame:
         frame_id: Unique id acked by receivers; fresh per logical send,
             shared across retransmissions of the same frame.
         retransmission: 0 for the first copy, 1.. for retries.
+        enqueued_at: Virtual time this copy entered the send path (stamped
+            by the face / reliability layer; feeds the per-hop latency
+            histogram).
     """
 
     sender: NodeId
@@ -48,6 +51,7 @@ class Frame:
     kind: str = "data"
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
     retransmission: int = 0
+    enqueued_at: Optional[float] = None
 
     @property
     def size(self) -> int:

@@ -68,6 +68,7 @@ class Radio:
         self._sending = False
         self._receive_callback: Optional[Callable[[Frame], None]] = None
         self._sent_callback: Optional[Callable[[Frame], None]] = None
+        self._queue_gauge = sim.metrics.gauge("net.radio_queue_frames")
         medium.attach(node_id, self._on_frame)
 
     # ------------------------------------------------------------------
@@ -103,12 +104,23 @@ class Radio:
         """
         if self._queued_bytes + frame.size > self.config.os_buffer_bytes:
             self.medium.stats.frames_dropped_buffer += 1
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.emit(
+                    "frame_dropped",
+                    node=self.node_id,
+                    frame_id=frame.frame_id,
+                    frame_kind=frame.kind,
+                    size=frame.size,
+                    reason="os_buffer",
+                )
             return False
         if priority:
             self._queue.appendleft(frame)
         else:
             self._queue.append(frame)
         self._queued_bytes += frame.size
+        self._queue_gauge.set(len(self._queue))
         self._pump()
         return True
 

@@ -174,11 +174,31 @@ class ReliabilitySender:
         if pending.retries_left <= 0:
             self.abandoned_frames += 1
             del self._pending[frame_id]
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.emit(
+                    "abandon",
+                    node=pending.frame.sender,
+                    frame_id=frame_id,
+                    frame_kind=pending.frame.kind,
+                    unacked=len(pending.waiting),
+                )
             return
         pending.retries_left -= 1
         self.retransmitted_frames += 1
         retry = pending.frame.copy_for_retransmission(frozenset(pending.waiting))
+        retry.enqueued_at = self.sim.now
         pending.frame = retry
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(
+                "retransmit",
+                node=retry.sender,
+                frame_id=frame_id,
+                frame_kind=retry.kind,
+                retx=retry.retransmission,
+                waiting=len(pending.waiting),
+            )
         self.submit(retry)
         # Arm a *fallback* deadline now so a retry stuck in deep queues
         # cannot stall the chain — but make it generous (5×): the accurate

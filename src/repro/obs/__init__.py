@@ -1,0 +1,51 @@
+"""Observability: structured tracing, metrics and run profiling.
+
+Three complementary views into a running simulation, all designed to cost
+(approximately) nothing when switched off:
+
+* :mod:`repro.obs.trace` — a typed event bus the protocol layers publish
+  onto (query forwarded, mixedcast merge, Bloom prune, retransmission...),
+  with pluggable sinks (in-memory ring buffer, JSONL file writer);
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket histograms
+  behind :class:`repro.net.stats.NetworkStats` and the round machinery;
+* :mod:`repro.obs.profile` — wall-time / events-per-second / queue-depth
+  profiles of whole experiment runs, surfaced by the runner and the CLI.
+
+:mod:`repro.obs.inspect` turns a trace file back into per-node and
+per-message-kind summaries (``python -m repro inspect out.jsonl``).
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import RunProfiler, RunRecord, active_profiler
+from repro.obs.trace import (
+    JsonlSink,
+    ListSink,
+    RingBufferSink,
+    TraceBus,
+    TraceEvent,
+    TraceSink,
+    global_sink,
+    install_global_sink,
+    read_jsonl,
+    remove_global_sink,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunProfiler",
+    "RunRecord",
+    "active_profiler",
+    "JsonlSink",
+    "ListSink",
+    "RingBufferSink",
+    "TraceBus",
+    "TraceEvent",
+    "TraceSink",
+    "global_sink",
+    "install_global_sink",
+    "read_jsonl",
+    "remove_global_sink",
+]

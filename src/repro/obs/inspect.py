@@ -1,0 +1,136 @@
+"""Trace-file inspection: ``python -m repro inspect out.jsonl``.
+
+Reads the JSONL event stream written by :class:`repro.obs.trace.JsonlSink`
+and prints what the protocol actually did: events per kind, the busiest
+nodes, on-air frame/byte accounting per message kind (which reconstructs
+the paper's message-overhead metric), and loss/retransmission tallies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.trace import read_jsonl
+
+Event = Dict[str, object]
+
+
+def summarize(events: Sequence[Event]) -> Dict[str, object]:
+    """Aggregate a trace into plain-dict summaries.
+
+    Returns a dict with:
+        ``total`` — event count;
+        ``runs`` — per-run event counts and time spans;
+        ``by_kind`` — events per event kind;
+        ``by_node`` — events per node id;
+        ``frames`` — per frame-kind ``{"frames": n, "bytes": n}`` from
+        ``frame_sent`` events (sums to ``NetworkStats.bytes_sent``);
+        ``losses`` — ``frame_lost`` events per reason;
+        ``retransmits`` / ``abandons`` — reliability-layer tallies.
+    """
+    by_kind: Counter = Counter()
+    by_node: Counter = Counter()
+    losses: Counter = Counter()
+    frames: Dict[str, Dict[str, int]] = {}
+    runs: Dict[int, Dict[str, object]] = {}
+    retransmits = 0
+    abandons = 0
+    for event in events:
+        kind = str(event.get("kind", "?"))
+        by_kind[kind] += 1
+        node = event.get("node")
+        if node is not None:
+            by_node[node] += 1
+        run = int(event.get("run", 0))
+        time = float(event.get("t", 0.0))
+        span = runs.setdefault(run, {"events": 0, "t_min": time, "t_max": time})
+        span["events"] = int(span["events"]) + 1
+        span["t_min"] = min(float(span["t_min"]), time)
+        span["t_max"] = max(float(span["t_max"]), time)
+        if kind == "frame_sent":
+            frame_kind = str(event.get("frame_kind", "data"))
+            bucket = frames.setdefault(frame_kind, {"frames": 0, "bytes": 0})
+            bucket["frames"] += 1
+            bucket["bytes"] += int(event.get("size", 0))
+        elif kind == "frame_lost":
+            losses[str(event.get("reason", "?"))] += 1
+        elif kind == "retransmit":
+            retransmits += 1
+        elif kind == "abandon":
+            abandons += 1
+    return {
+        "total": len(events),
+        "runs": runs,
+        "by_kind": dict(by_kind),
+        "by_node": dict(by_node),
+        "frames": frames,
+        "losses": dict(losses),
+        "retransmits": retransmits,
+        "abandons": abandons,
+    }
+
+
+def render(events: Sequence[Event], top_nodes: int = 10) -> str:
+    """Human-readable inspection report for a trace."""
+    if not events:
+        return "trace: empty (no events)"
+    summary = summarize(events)
+    lines: List[str] = []
+    runs = summary["runs"]
+    lines.append(
+        f"trace: {summary['total']} events across {len(runs)} simulation run(s)"
+    )
+    for run_id in sorted(runs):
+        span = runs[run_id]
+        lines.append(
+            f"  run {run_id}: {span['events']} events, "
+            f"t = {span['t_min']:.3f}s .. {span['t_max']:.3f}s"
+        )
+
+    lines.append("")
+    lines.append("events by kind:")
+    by_kind = summary["by_kind"]
+    for kind in sorted(by_kind, key=lambda k: (-by_kind[k], k)):
+        lines.append(f"  {kind:<20s} {by_kind[kind]:>10d}")
+
+    frames = summary["frames"]
+    if frames:
+        lines.append("")
+        lines.append("on-air frames by message kind:")
+        total_frames = 0
+        total_bytes = 0
+        for frame_kind in sorted(frames, key=lambda k: -frames[k]["bytes"]):
+            bucket = frames[frame_kind]
+            total_frames += bucket["frames"]
+            total_bytes += bucket["bytes"]
+            lines.append(
+                f"  {frame_kind:<20s} {bucket['frames']:>8d} frames "
+                f"{bucket['bytes']:>12d} bytes"
+            )
+        lines.append(
+            f"  {'TOTAL':<20s} {total_frames:>8d} frames {total_bytes:>12d} bytes"
+        )
+
+    losses = summary["losses"]
+    if losses or summary["retransmits"] or summary["abandons"]:
+        lines.append("")
+        lines.append("reliability:")
+        for reason in sorted(losses):
+            lines.append(f"  lost ({reason}): {losses[reason]}")
+        lines.append(f"  retransmissions: {summary['retransmits']}")
+        lines.append(f"  abandoned frames: {summary['abandons']}")
+
+    by_node = summary["by_node"]
+    if by_node:
+        lines.append("")
+        lines.append(f"busiest nodes (top {top_nodes}):")
+        ranked = sorted(by_node, key=lambda n: (-by_node[n], n))[:top_nodes]
+        for node in ranked:
+            lines.append(f"  node {node:<6} {by_node[node]:>10d} events")
+    return "\n".join(lines)
+
+
+def inspect_file(path: str, top_nodes: int = 10) -> str:
+    """Load ``path`` and render its report."""
+    return render(read_jsonl(path), top_nodes=top_nodes)

@@ -1,0 +1,228 @@
+"""Counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a named bag of instruments.  Every simulator
+owns one (``sim.metrics``); :class:`repro.net.stats.NetworkStats` registers
+its frame counters there, the medium feeds size/latency histograms, and the
+round controller records round durations — so one ``registry.render()``
+shows the whole run.
+
+Instruments are deliberately primitive: plain attribute arithmetic, no
+locks, no labels, no export dependencies.  Getter methods are idempotent
+(``registry.counter("x")`` twice returns the same object), which lets
+independent layers share instruments by name.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: Default histogram bucket upper bounds (generic positive magnitudes).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.01,
+    0.1,
+    1.0,
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+)
+
+
+class Counter:
+    """A monotonically *usable* counter (direct assignment allowed)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A sampled value that remembers its extremes."""
+
+    __slots__ = ("name", "value", "max_value", "min_value", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.max_value: float = 0.0
+        self.min_value: float = 0.0
+        self.samples: int = 0
+
+    def set(self, value: float) -> None:
+        if self.samples == 0:
+            self.max_value = value
+            self.min_value = value
+        else:
+            if value > self.max_value:
+                self.max_value = value
+            if value < self.min_value:
+                self.min_value = value
+        self.value = value
+        self.samples += 1
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value}, max={self.max_value})"
+
+
+class Histogram:
+    """Fixed upper-bound buckets plus sum/count/extremes.
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow bucket
+    catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "total", "count", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not buckets:
+            raise ConfigurationError(f"histogram {name!r} needs at least one bucket")
+        ordered = tuple(sorted(buckets))
+        if len(set(ordered)) != len(ordered):
+            raise ConfigurationError(f"histogram {name!r} has duplicate buckets")
+        self.name = name
+        self.buckets = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.total: float = 0.0
+        self.count: int = 0
+        self.min: float = 0.0
+        self.max: float = 0.0
+
+    def observe(self, value: float) -> None:
+        if self.count == 0:
+            self.min = value
+            self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile (upper bound of the q-th bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return self.max
+        return self.max
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Cumulative-free per-bucket counts keyed by upper bound."""
+        keyed = {f"le_{bound:g}": n for bound, n in zip(self.buckets, self.counts)}
+        keyed["overflow"] = self.counts[-1]
+        return keyed
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.4g})"
+
+
+class MetricsRegistry:
+    """Named instruments; getters create on first use and are idempotent."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(
+                name, buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+        return histogram
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Nested plain-dict view of everything recorded so far."""
+        return {
+            "counters": {
+                name: counter.value for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {
+                    "value": gauge.value,
+                    "max": gauge.max_value,
+                    "min": gauge.min_value,
+                }
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": hist.count,
+                    "sum": hist.total,
+                    "mean": hist.mean,
+                    "min": hist.min,
+                    "max": hist.max,
+                    "p50": hist.quantile(0.5),
+                    "p99": hist.quantile(0.99),
+                    "buckets": hist.bucket_counts(),
+                }
+                for name, hist in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (CLI ``--metrics``)."""
+        lines: List[str] = []
+        if self._counters:
+            lines.append("counters:")
+            for name, counter in sorted(self._counters.items()):
+                lines.append(f"  {name:<36s} {counter.value}")
+        if self._gauges:
+            lines.append("gauges:")
+            for name, gauge in sorted(self._gauges.items()):
+                lines.append(
+                    f"  {name:<36s} {gauge.value:g} (min {gauge.min_value:g}, "
+                    f"max {gauge.max_value:g})"
+                )
+        if self._histograms:
+            lines.append("histograms:")
+            for name, hist in sorted(self._histograms.items()):
+                lines.append(
+                    f"  {name:<36s} n={hist.count} mean={hist.mean:.4g} "
+                    f"p50={hist.quantile(0.5):g} p99={hist.quantile(0.99):g} "
+                    f"max={hist.max:g}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,127 @@
+"""Run profiling: wall-time, event throughput and queue depth per run.
+
+A :class:`RunProfiler` is activated around a block of experiment code
+(``with profiler.activate(): ...``).  While active, every
+:meth:`Simulator.run() <repro.sim.simulator.Simulator.run>` call reports
+its wall-clock duration, processed-event count, final virtual time and
+peak event-queue depth here; the experiment runner labels each trial so
+the profile reads "seed 3 → 1.2 s wall, 410k events, 340k ev/s".
+
+When no profiler is active the simulator's only cost is one module-level
+load and a None check per ``run()`` call.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One ``Simulator.run()`` call observed by the profiler."""
+
+    label: str
+    wall_s: float
+    events: int
+    sim_time_s: float
+    peak_queue_depth: int
+
+    @property
+    def events_per_s(self) -> float:
+        """Processed events per wall-clock second."""
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class RunProfiler:
+    """Collects :class:`RunRecord` entries from active simulations."""
+
+    def __init__(self) -> None:
+        self.records: List[RunRecord] = []
+        self._labels: List[str] = []
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def activate(self) -> Iterator["RunProfiler"]:
+        """Make this the process-wide profiler for the enclosed block."""
+        global _ACTIVE
+        previous = _ACTIVE
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = previous
+
+    @contextmanager
+    def label(self, text: str) -> Iterator[None]:
+        """Prefix records emitted inside the block (nestable)."""
+        self._labels.append(text)
+        try:
+            yield
+        finally:
+            self._labels.pop()
+
+    # ------------------------------------------------------------------
+    def record_run(
+        self,
+        wall_s: float,
+        events: int,
+        sim_time_s: float,
+        peak_queue_depth: int,
+    ) -> None:
+        """Called by the simulator at the end of each ``run()``."""
+        self.records.append(
+            RunRecord(
+                label=" / ".join(self._labels) if self._labels else "run",
+                wall_s=wall_s,
+                events=events,
+                sim_time_s=sim_time_s,
+                peak_queue_depth=peak_queue_depth,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Aggregate totals over all recorded runs."""
+        wall = sum(r.wall_s for r in self.records)
+        events = sum(r.events for r in self.records)
+        return {
+            "runs": len(self.records),
+            "wall_s": wall,
+            "events": events,
+            "events_per_s": events / wall if wall > 0 else 0.0,
+            "peak_queue_depth": max(
+                (r.peak_queue_depth for r in self.records), default=0
+            ),
+        }
+
+    def render(self) -> str:
+        """Human-readable profile (printed by the CLI under ``--metrics``)."""
+        if not self.records:
+            return "profile: no simulator runs recorded"
+        lines = ["profile:"]
+        for record in self.records:
+            lines.append(
+                f"  {record.label:<28s} wall {record.wall_s:8.3f}s  "
+                f"events {record.events:>9d}  "
+                f"{record.events_per_s:>10.0f} ev/s  "
+                f"sim {record.sim_time_s:8.1f}s  "
+                f"peak queue {record.peak_queue_depth}"
+            )
+        totals = self.summary()
+        lines.append(
+            f"  {'TOTAL':<28s} wall {totals['wall_s']:8.3f}s  "
+            f"events {int(totals['events']):>9d}  "
+            f"{totals['events_per_s']:>10.0f} ev/s  "
+            f"peak queue {int(totals['peak_queue_depth'])}"
+        )
+        return "\n".join(lines)
+
+
+_ACTIVE: Optional[RunProfiler] = None
+
+
+def active_profiler() -> Optional[RunProfiler]:
+    """The profiler currently activated, or None."""
+    return _ACTIVE

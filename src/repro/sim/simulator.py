@@ -8,9 +8,13 @@ with :meth:`Simulator.schedule` (relative delay) or :meth:`Simulator.at`
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import active_profiler
+from repro.obs.trace import TraceBus, global_sinks
 from repro.sim.event import DEFAULT_PRIORITY, Event, EventQueue
 
 
@@ -19,6 +23,12 @@ class Simulator:
 
     Attributes:
         now: Current virtual time in seconds.
+        trace: This simulation's trace bus (disabled until a sink
+            subscribes; process-wide sinks are attached automatically).
+        metrics: This simulation's metrics registry (counters, gauges,
+            histograms recorded by the stack).
+        events_processed: Total events fired over the simulator's life.
+        peak_queue_depth: Largest event-queue length observed while running.
     """
 
     def __init__(self) -> None:
@@ -26,6 +36,12 @@ class Simulator:
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
+        self.trace = TraceBus(clock=lambda: self.now)
+        for sink in global_sinks():
+            self.trace.subscribe(sink)
+        self.metrics = MetricsRegistry()
+        self.events_processed: int = 0
+        self.peak_queue_depth: int = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -87,14 +103,18 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        profiler = active_profiler()
+        wall_start = perf_counter() if profiler is not None else 0.0
+        queue = self._queue
+        peak_depth = len(queue)
         try:
-            while self._queue and not self._stopped:
-                next_time = self._queue.peek_time()
+            while queue and not self._stopped:
+                next_time = queue.peek_time()
                 if next_time is None:
                     break
                 if until is not None and next_time > until:
                     break
-                event = self._queue.pop()
+                event = queue.pop()
                 if event.time < self.now:
                     raise SimulationError(
                         f"event queue yielded past event (t={event.time} < now={self.now})"
@@ -102,14 +122,36 @@ class Simulator:
                 self.now = event.time
                 event.fire()
                 processed += 1
+                depth = len(queue)
+                if depth > peak_depth:
+                    peak_depth = depth
                 if max_events is not None and processed >= max_events:
                     raise SimulationError(
-                        f"exceeded max_events={max_events}; runaway simulation?"
+                        f"exceeded max_events={max_events} "
+                        f"(processed={processed}, now={self.now}); "
+                        f"runaway simulation?"
                     )
         finally:
             self._running = False
+            self.events_processed += processed
+            if peak_depth > self.peak_queue_depth:
+                self.peak_queue_depth = peak_depth
+            if profiler is not None:
+                profiler.record_run(
+                    wall_s=perf_counter() - wall_start,
+                    events=processed,
+                    sim_time_s=self.now,
+                    peak_queue_depth=peak_depth,
+                )
         if until is not None and not self._stopped and self.now < until:
             self.now = until
+        if self.trace.enabled:
+            self.trace.emit(
+                "sim_run_end",
+                processed=processed,
+                pending=len(self._queue),
+                peak_queue_depth=peak_depth,
+            )
         return processed
 
     def stop(self) -> None:
@@ -128,3 +170,5 @@ class Simulator:
         self._queue.clear()
         self.now = 0.0
         self._stopped = False
+        self.events_processed = 0
+        self.peak_queue_depth = 0

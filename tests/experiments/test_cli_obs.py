@@ -1,0 +1,73 @@
+"""CLI tests for --trace / --metrics and the `inspect` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.figures import REGISTRY
+from repro.obs.trace import read_jsonl
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def tiny_fig4(monkeypatch):
+    """Replace fig4's run with a tiny real simulation (trace-visible)."""
+
+    def run(*args, **kwargs):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: sim.trace.emit(
+            "frame_sent", node=0, frame_kind="query", size=64))
+        sim.run()
+        return [{"grid": "1x1", "max_hops": 0, "recall": 1.0,
+                 "latency_s": 0.1, "overhead_mb": 0.0}]
+
+    monkeypatch.setattr(REGISTRY["fig4"], "run", run)
+
+
+def test_trace_flag_writes_jsonl(tmp_path, capsys, tiny_fig4):
+    path = tmp_path / "out.jsonl"
+    assert main(["fig4", "--trace", str(path)]) == 0
+    err = capsys.readouterr().err
+    assert f"trace written to {path}" in err
+    events = read_jsonl(str(path))
+    kinds = {e["kind"] for e in events}
+    assert "frame_sent" in kinds
+    assert "sim_run_end" in kinds
+
+
+def test_trace_sink_removed_after_run(tmp_path, tiny_fig4):
+    assert main(["fig4", "--trace", str(tmp_path / "out.jsonl")]) == 0
+    assert Simulator().trace.enabled is False
+
+
+def test_metrics_flag_prints_profile(capsys, tiny_fig4):
+    assert main(["fig4", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "profile:" in out
+    assert "ev/s" in out
+
+
+def test_inspect_summarizes_trace(tmp_path, capsys):
+    path = tmp_path / "t.jsonl"
+    events = [
+        {"t": 0.0, "kind": "frame_sent", "run": 1, "node": 1,
+         "frame_kind": "query", "size": 100},
+        {"t": 0.5, "kind": "frame_delivered", "run": 1, "node": 2,
+         "frame_kind": "query", "size": 100},
+    ]
+    path.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+    assert main(["inspect", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 events" in out
+    assert "query" in out
+
+
+def test_inspect_without_path_errors(capsys):
+    assert main(["inspect"]) == 2
+    assert "inspect needs a trace file" in capsys.readouterr().err
+
+
+def test_inspect_missing_file_errors(tmp_path, capsys):
+    assert main(["inspect", str(tmp_path / "nope.jsonl")]) == 2
+    assert "no such trace file" in capsys.readouterr().err

@@ -51,3 +51,14 @@ def test_as_row_rounding():
     assert row["latency_s"] == 5.13
     assert row["overhead_mb"] == 5.13
     assert row["recall"] == 1.0
+
+
+def test_as_row_includes_spread_columns():
+    agg = AggregateMetrics.from_trials(
+        [trial(recall=0.8, latency=1.0), trial(recall=1.0, latency=3.0)]
+    )
+    row = agg.as_row()
+    assert set(row) >= {"recall_std", "latency_std", "overhead_mb_std"}
+    assert row["latency_std"] == pytest.approx(2.0**0.5, abs=0.01)
+    assert row["recall_std"] > 0.0
+    assert row["overhead_mb_std"] == 0.0

@@ -41,3 +41,13 @@ def test_snapshot_contains_counters():
     assert snap["frames_sent"] == 1
     assert snap["bytes_sent"] == 10
     assert "loss_ratio" in snap
+
+
+def test_snapshot_breaks_down_by_kind():
+    stats = NetworkStats()
+    stats.record_transmission("query", 100)
+    stats.record_transmission("query", 50)
+    stats.record_transmission("response", 900)
+    snap = stats.snapshot()
+    assert snap["bytes_by_kind"] == {"query": 150, "response": 900}
+    assert snap["frames_by_kind"] == {"query": 2, "response": 1}

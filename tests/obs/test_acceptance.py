@@ -1,0 +1,70 @@
+"""Acceptance: the trace reconciles with `NetworkStats` exactly.
+
+The ISSUE's acceptance criterion: in a traced discovery run, the sum of
+``frame_sent`` event sizes equals ``NetworkStats.bytes_sent`` — i.e. the
+trace is a complete, non-duplicated record of the on-air traffic.
+"""
+
+from repro.experiments.figures.common import (
+    experiment_device_config,
+    pdd_experiment,
+)
+from repro.experiments.scenario import build_grid_scenario
+from repro.obs.inspect import summarize
+from repro.obs.trace import ListSink
+
+
+def _traced_discovery_run():
+    scenario = build_grid_scenario(
+        rows=3,
+        cols=3,
+        seed=1,
+        device_config=experiment_device_config(),
+        n_consumers=1,
+    )
+    sink = scenario.sim.trace.subscribe(ListSink())
+    pdd_experiment(1, metadata_count=200, scenario=scenario, sim_cap_s=60.0)
+    return scenario, sink
+
+
+def test_frame_sent_sizes_sum_to_bytes_sent():
+    scenario, sink = _traced_discovery_run()
+    stats = scenario.stats
+    sent = [e for e in sink.events if e.kind == "frame_sent"]
+    assert sent, "a discovery run must put frames on the air"
+    assert sum(e.fields["size"] for e in sent) == stats.bytes_sent
+    assert len(sent) == stats.frames_sent
+
+
+def test_trace_frame_kinds_match_stats_breakdown():
+    scenario, sink = _traced_discovery_run()
+    stats = scenario.stats
+    summary = summarize([e.to_json_dict() for e in sink.events])
+    trace_bytes = {k: v["bytes"] for k, v in summary["frames"].items()}
+    trace_frames = {k: v["frames"] for k, v in summary["frames"].items()}
+    snapshot = stats.snapshot()
+    assert trace_bytes == snapshot["bytes_by_kind"]
+    assert trace_frames == snapshot["frames_by_kind"]
+
+
+def test_delivery_and_loss_events_reconcile():
+    scenario, sink = _traced_discovery_run()
+    stats = scenario.stats
+    delivered = sum(1 for e in sink.events if e.kind == "frame_delivered")
+    lost = sum(1 for e in sink.events if e.kind == "frame_lost")
+    assert delivered == stats.frames_delivered
+    assert lost == (
+        stats.frames_lost_collision
+        + stats.frames_lost_random
+        + stats.frames_lost_busy_receiver
+    )
+
+
+def test_registry_sees_network_counters():
+    scenario, _ = _traced_discovery_run()
+    snap = scenario.sim.metrics.snapshot()
+    assert snap["counters"]["net.bytes_sent"] == scenario.stats.bytes_sent
+    assert snap["histograms"]["net.frame_size_bytes"]["count"] == (
+        scenario.stats.frames_sent
+    )
+    assert snap["histograms"]["net.per_hop_latency_s"]["count"] > 0

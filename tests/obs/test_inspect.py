@@ -1,0 +1,63 @@
+"""Unit tests for trace inspection (`repro inspect`)."""
+
+from repro.obs.inspect import inspect_file, render, summarize
+from repro.obs.trace import JsonlSink, TraceBus
+
+
+def _sample_events():
+    return [
+        {"t": 0.0, "kind": "frame_sent", "run": 1, "node": 1,
+         "frame_kind": "query", "size": 100},
+        {"t": 0.1, "kind": "frame_sent", "run": 1, "node": 2,
+         "frame_kind": "response", "size": 900},
+        {"t": 0.2, "kind": "frame_lost", "run": 1, "node": 3,
+         "reason": "collision"},
+        {"t": 0.3, "kind": "retransmit", "run": 1, "node": 2},
+        {"t": 0.4, "kind": "abandon", "run": 2, "node": 2},
+        {"t": 0.5, "kind": "sim_run_end", "run": 2, "processed": 5},
+    ]
+
+
+def test_summarize_aggregates():
+    summary = summarize(_sample_events())
+    assert summary["total"] == 6
+    assert summary["by_kind"]["frame_sent"] == 2
+    assert summary["by_node"] == {1: 1, 2: 3, 3: 1}
+    assert summary["frames"] == {
+        "query": {"frames": 1, "bytes": 100},
+        "response": {"frames": 1, "bytes": 900},
+    }
+    assert summary["losses"] == {"collision": 1}
+    assert summary["retransmits"] == 1
+    assert summary["abandons"] == 1
+    assert summary["runs"][1]["events"] == 4
+    assert summary["runs"][2]["t_min"] == 0.4
+    assert summary["runs"][2]["t_max"] == 0.5
+
+
+def test_render_report_sections():
+    text = render(_sample_events(), top_nodes=2)
+    assert "6 events across 2 simulation run(s)" in text
+    assert "events by kind:" in text
+    assert "on-air frames by message kind:" in text
+    assert "1000 bytes" in text  # TOTAL row: 100 + 900
+    assert "lost (collision): 1" in text
+    assert "busiest nodes (top 2):" in text
+    # top-2 cut: node 1 (1 event) ties node 3 but only two rows print
+    assert text.count("node ") == 2
+
+
+def test_render_empty_trace():
+    assert render([]) == "trace: empty (no events)"
+
+
+def test_inspect_file_round_trip(tmp_path):
+    path = tmp_path / "t.jsonl"
+    bus = TraceBus(clock=lambda: 1.0, run_id=3)
+    with JsonlSink(str(path)) as sink:
+        bus.subscribe(sink)
+        bus.emit("frame_sent", node=5, frame_kind="ack", size=48)
+    report = inspect_file(str(path))
+    assert "1 events across 1 simulation run(s)" in report
+    assert "ack" in report
+    assert "48 bytes" in report

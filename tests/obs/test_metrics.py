@@ -1,0 +1,91 @@
+"""Unit tests for counters, gauges, histograms and the registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_inc_and_direct_assignment():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    counter.value = 42
+    assert counter.value == 42
+
+
+def test_gauge_tracks_extremes():
+    gauge = Gauge("g")
+    for value in (5.0, -2.0, 3.0):
+        gauge.set(value)
+    assert gauge.value == 3.0
+    assert gauge.max_value == 5.0
+    assert gauge.min_value == -2.0
+    assert gauge.samples == 3
+
+
+def test_histogram_buckets_and_stats():
+    hist = Histogram("h", buckets=(1.0, 10.0, 100.0))
+    for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+        hist.observe(value)
+    assert hist.count == 5
+    assert hist.total == 556.5
+    assert hist.min == 0.5
+    assert hist.max == 500.0
+    # inclusive upper bounds: 0.5 and 1.0 land in the first bucket
+    assert hist.bucket_counts() == {
+        "le_1": 2,
+        "le_10": 1,
+        "le_100": 1,
+        "overflow": 1,
+    }
+    assert hist.quantile(0.5) == 10.0
+    assert hist.quantile(1.0) == 500.0
+
+
+def test_histogram_rejects_bad_buckets_and_quantiles():
+    with pytest.raises(ConfigurationError):
+        Histogram("h", buckets=())
+    with pytest.raises(ConfigurationError):
+        Histogram("h", buckets=(1.0, 1.0))
+    hist = Histogram("h", buckets=(1.0,))
+    with pytest.raises(ConfigurationError):
+        hist.quantile(1.5)
+
+
+def test_histogram_sorts_buckets():
+    hist = Histogram("h", buckets=(10.0, 1.0))
+    assert hist.buckets == (1.0, 10.0)
+
+
+def test_registry_getters_are_idempotent():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.gauge("y") is registry.gauge("y")
+    assert registry.histogram("z") is registry.histogram("z", buckets=(99.0,))
+
+
+def test_registry_snapshot_shape():
+    registry = MetricsRegistry()
+    registry.counter("frames").inc(3)
+    registry.gauge("queue").set(7.0)
+    registry.histogram("sizes", buckets=(10.0, 100.0)).observe(42.0)
+    snap = registry.snapshot()
+    assert snap["counters"] == {"frames": 3}
+    assert snap["gauges"]["queue"]["max"] == 7.0
+    hist = snap["histograms"]["sizes"]
+    assert hist["count"] == 1
+    assert hist["sum"] == 42.0
+    assert hist["buckets"] == {"le_10": 0, "le_100": 1, "overflow": 0}
+
+
+def test_registry_render_mentions_instruments():
+    registry = MetricsRegistry()
+    assert registry.render() == "(no metrics recorded)"
+    registry.counter("frames").inc()
+    registry.gauge("queue").set(1.0)
+    registry.histogram("sizes").observe(2.0)
+    text = registry.render()
+    for token in ("counters:", "gauges:", "histograms:", "frames", "queue", "sizes"):
+        assert token in text

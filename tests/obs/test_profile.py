@@ -1,0 +1,68 @@
+"""Unit tests for the run profiler."""
+
+from repro.obs.profile import RunProfiler, RunRecord, active_profiler
+from repro.sim.simulator import Simulator
+
+
+def test_no_profiler_active_by_default():
+    assert active_profiler() is None
+
+
+def test_activate_scopes_and_restores():
+    outer = RunProfiler()
+    inner = RunProfiler()
+    with outer.activate():
+        assert active_profiler() is outer
+        with inner.activate():
+            assert active_profiler() is inner
+        assert active_profiler() is outer
+    assert active_profiler() is None
+
+
+def test_simulator_run_records_profile():
+    profiler = RunProfiler()
+    with profiler.activate():
+        sim = Simulator()
+        for delay in (0.1, 0.2, 0.3):
+            sim.schedule(delay, lambda: None)
+        with profiler.label("trial"):
+            sim.run()
+    assert len(profiler.records) == 1
+    record = profiler.records[0]
+    assert record.label == "trial"
+    assert record.events == 3
+    assert record.sim_time_s == 0.3
+    assert record.peak_queue_depth >= 1
+    assert record.wall_s >= 0.0
+
+
+def test_labels_nest():
+    profiler = RunProfiler()
+    with profiler.activate(), profiler.label("fig4"), profiler.label("seed 1"):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        sim.run()
+    assert profiler.records[0].label == "fig4 / seed 1"
+
+
+def test_summary_and_render():
+    profiler = RunProfiler()
+    assert "no simulator runs" in profiler.render()
+    profiler.record_run(wall_s=2.0, events=100, sim_time_s=5.0, peak_queue_depth=7)
+    profiler.record_run(wall_s=1.0, events=50, sim_time_s=3.0, peak_queue_depth=9)
+    totals = profiler.summary()
+    assert totals["runs"] == 2
+    assert totals["wall_s"] == 3.0
+    assert totals["events"] == 150
+    assert totals["events_per_s"] == 50.0
+    assert totals["peak_queue_depth"] == 9
+    text = profiler.render()
+    assert "TOTAL" in text
+    assert "ev/s" in text
+
+
+def test_events_per_s_handles_zero_wall():
+    record = RunRecord(
+        label="x", wall_s=0.0, events=10, sim_time_s=1.0, peak_queue_depth=0
+    )
+    assert record.events_per_s == 0.0

@@ -1,0 +1,121 @@
+"""Unit tests for the trace bus and its sinks."""
+
+import pytest
+
+from repro.obs.trace import (
+    JsonlSink,
+    ListSink,
+    RingBufferSink,
+    TraceBus,
+    global_sink,
+    global_sinks,
+    read_jsonl,
+)
+from repro.sim.simulator import Simulator
+
+
+def test_events_carry_virtual_time_in_order():
+    sim = Simulator()
+    sink = sim.trace.subscribe(ListSink())
+    for delay in (0.5, 0.1, 0.9):
+        sim.schedule(delay, lambda d=delay: sim.trace.emit("tick", delay=d))
+    sim.run()
+    ticks = [e for e in sink.events if e.kind == "tick"]
+    assert [e.time for e in ticks] == [0.1, 0.5, 0.9]
+    assert [e.fields["delay"] for e in ticks] == [0.1, 0.5, 0.9]
+    # every event is stamped with this bus's run id
+    assert {e.run for e in sink.events} == {sim.trace.run_id}
+
+
+def test_disabled_bus_emits_nothing():
+    sim = Simulator()
+    assert sim.trace.enabled is False
+    sim.schedule(0.1, lambda: sim.trace.emit("tick"))
+    sim.run()
+    # emit() without sinks returns None and tallies nothing; run() skips
+    # its own sim_run_end emission too.
+    assert sim.trace.emit("tick") is None
+    assert not sim.trace.counts
+
+
+def test_unsubscribe_disables_bus():
+    bus = TraceBus()
+    sink = bus.subscribe(ListSink())
+    assert bus.enabled is True
+    bus.unsubscribe(sink)
+    assert bus.enabled is False
+    assert bus.emit("tick") is None
+
+
+def test_sim_run_end_event_reports_processed_count():
+    sim = Simulator()
+    sink = sim.trace.subscribe(ListSink())
+    for delay in (0.1, 0.2, 0.3):
+        sim.schedule(delay, lambda: None)
+    sim.run()
+    ends = [e for e in sink.events if e.kind == "sim_run_end"]
+    assert len(ends) == 1
+    assert ends[0].fields["processed"] == 3
+    assert ends[0].fields["pending"] == 0
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    clock_value = [0.0]
+    bus = TraceBus(clock=lambda: clock_value[0], run_id=7)
+    with JsonlSink(str(path)) as sink:
+        bus.subscribe(sink)
+        bus.emit("frame_sent", node=3, size=100, frame_kind="query")
+        clock_value[0] = 1.5
+        bus.emit("frame_lost", node=4, reason="collision")
+    events = read_jsonl(str(path))
+    assert events == [
+        {"t": 0.0, "kind": "frame_sent", "run": 7, "node": 3, "size": 100,
+         "frame_kind": "query"},
+        {"t": 1.5, "kind": "frame_lost", "run": 7, "node": 4,
+         "reason": "collision"},
+    ]
+
+
+def test_jsonl_sink_creates_file_even_without_events(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    JsonlSink(str(path)).close()
+    assert path.exists()
+    assert read_jsonl(str(path)) == []
+
+
+def test_ring_buffer_keeps_most_recent():
+    bus = TraceBus(clock=lambda: 0.0)
+    sink = bus.subscribe(RingBufferSink(capacity=3))
+    for i in range(10):
+        bus.emit("tick", i=i)
+    assert sink.seen == 10
+    assert sink.dropped == 7
+    assert [e.fields["i"] for e in sink.events] == [7, 8, 9]
+
+
+def test_global_sink_attaches_to_new_simulators():
+    captured = ListSink()
+    with global_sink(captured):
+        assert captured in global_sinks()
+        sim = Simulator()
+        assert sim.trace.enabled is True
+        sim.schedule(0.1, lambda: sim.trace.emit("tick"))
+        sim.run()
+    assert captured not in global_sinks()
+    assert any(e.kind == "tick" for e in captured.events)
+    # simulators created after the scope closes are not attached
+    assert Simulator().trace.enabled is False
+
+
+def test_run_ids_distinguish_buses():
+    assert Simulator().trace.run_id != Simulator().trace.run_id
+
+
+def test_emission_counts_tally_per_kind():
+    bus = TraceBus()
+    bus.subscribe(ListSink())
+    bus.emit("a")
+    bus.emit("a")
+    bus.emit("b")
+    assert bus.counts == {"a": 2, "b": 1}

@@ -82,7 +82,7 @@ def test_max_events_guard(sim):
         sim.schedule(0.1, forever)
 
     sim.schedule(0.0, forever)
-    with pytest.raises(SimulationError):
+    with pytest.raises(SimulationError, match=r"processed=100, now="):
         sim.run(max_events=100)
 
 
