@@ -6,6 +6,7 @@ Usage::
     python -m repro fig4
     python -m repro fig13_14 --seeds 5 --scale 1.0
     python -m repro all --seeds 2 --scale 0.25
+    python -m repro fig4 --jobs 4          # 4 worker processes per sweep
 
 Observability::
 
@@ -22,6 +23,7 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.errors import ConfigurationError
 from repro.experiments.figures import REGISTRY
 
 
@@ -59,10 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload scale factor (paper: 1.0)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes per sweep (0 = one per CPU; default: "
+        "REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="FILE",
         default=None,
-        help="write a JSONL event trace of every simulation to FILE",
+        help="write a JSONL event trace of every simulation to FILE "
+        "(with --jobs N>1, per-worker shards FILE.0, FILE.1, ...)",
     )
     parser.add_argument(
         "--metrics",
@@ -79,9 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_figures(args: argparse.Namespace) -> int:
-    """Run one figure (or all), honouring --trace / --metrics."""
+    """Run one figure (or all), honouring --trace / --metrics / --jobs."""
     from contextlib import ExitStack
 
+    from repro.experiments.runner import configured_jobs
+    from repro.obs.metrics import MetricsRegistry, collect_registries
     from repro.obs.profile import RunProfiler
     from repro.obs.trace import JsonlSink, global_sink
 
@@ -93,6 +105,7 @@ def _run_figures(args: argparse.Namespace) -> int:
         return 2
 
     profiler = RunProfiler() if args.metrics else None
+    registries: List[MetricsRegistry] = []
     with ExitStack() as stack:
         if args.trace:
             try:
@@ -103,6 +116,7 @@ def _run_figures(args: argparse.Namespace) -> int:
             stack.enter_context(global_sink(sink))
         if profiler is not None:
             stack.enter_context(profiler.activate())
+            registries = stack.enter_context(collect_registries())
         if args.figure == "all":
             for figure_id, module in REGISTRY.items():
                 print(f"== {figure_id} ==")
@@ -111,10 +125,22 @@ def _run_figures(args: argparse.Namespace) -> int:
         else:
             print(REGISTRY[args.figure].main())
     if args.trace:
-        print(f"trace written to {args.trace}", file=sys.stderr)
+        if configured_jobs() > 1:
+            print(
+                f"trace written to per-worker shards next to {args.trace}",
+                file=sys.stderr,
+            )
+        else:
+            print(f"trace written to {args.trace}", file=sys.stderr)
     if profiler is not None:
         print()
         print(profiler.render())
+        if registries:
+            merged = MetricsRegistry()
+            for registry in registries:
+                merged.merge_snapshot(registry.snapshot())
+            print()
+            print(merged.render())
     return 0
 
 
@@ -124,6 +150,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_SEEDS"] = str(args.seeds)
     if args.scale is not None:
         os.environ["REPRO_SCALE"] = str(args.scale)
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     if args.figure == "list":
         print("Available figures:")
@@ -154,7 +182,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         return 0
 
-    return _run_figures(args)
+    try:
+        return _run_figures(args)
+    except ConfigurationError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _main_guarded(argv: Optional[List[str]] = None) -> int:

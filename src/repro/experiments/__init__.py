@@ -1,10 +1,16 @@
 """Experiment harness: scenarios, workloads, metrics, figure modules."""
 
-from repro.experiments.metrics import AggregateMetrics, TrialMetrics
+from repro.experiments.metrics import AggregateMetrics, TrialFailure, TrialMetrics
 from repro.experiments.runner import (
     DEFAULT_SEEDS,
+    SweepPoint,
+    TrialTimeout,
+    configured_jobs,
     configured_seeds,
+    configured_trial_timeout,
+    point_mean,
     render_table,
+    run_sweep,
     run_trials,
     scale_factor,
 )
@@ -29,16 +35,23 @@ __all__ = [
     "DEFAULT_RADIO_RANGE",
     "DEFAULT_SEEDS",
     "Scenario",
+    "SweepPoint",
+    "TrialFailure",
     "TrialMetrics",
+    "TrialTimeout",
     "build_campus_scenario",
     "build_grid_scenario",
+    "configured_jobs",
     "configured_seeds",
+    "configured_trial_timeout",
     "distribute_chunks",
     "distribute_metadata",
     "distribute_small_items",
     "generate_metadata",
     "make_video_item",
+    "point_mean",
     "render_table",
+    "run_sweep",
     "run_trials",
     "scale_factor",
     "sensor_descriptor",

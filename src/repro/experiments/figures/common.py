@@ -57,12 +57,22 @@ def experiment_device_config(
 
 @dataclass
 class ConsumerOutcome:
-    """One consumer's session result plus its overhead window."""
+    """One consumer's session result plus its overhead window.
+
+    ``overhead_bytes`` attributes the network-wide traffic to consumers
+    without double counting: sequential consumers own the bytes between
+    their launch and the next launch (or end of run); single/simultaneous
+    consumers split the shared window evenly.  Summing over consumers
+    always gives the network total.  ``launched`` is False for a
+    sequential consumer whose turn never came before the simulation cap —
+    its result and overhead are placeholders, not measurements.
+    """
 
     node_id: int
     result: SessionResult
     recall: float
     overhead_bytes: int
+    launched: bool = True
 
 
 @dataclass
@@ -103,9 +113,11 @@ def _drive_sessions(
     sim = scenario.sim
     stats = scenario.stats
     overhead_marks = {}
+    launched = set()
 
     def launch(index: int) -> None:
         overhead_marks[index] = stats.bytes_sent
+        launched.add(index)
         sessions[index].start()
 
     if mode == "sequential":
@@ -124,14 +136,29 @@ def _drive_sessions(
 
     sim.run(until=start_at + sim_cap_s)
 
-    consumers = []
-    overhead_ends = {}
+    total_bytes = stats.bytes_sent
+    per_consumer: dict = {}
     if mode == "sequential":
-        # Per-consumer overhead = bytes between this start and the next.
-        marks = [overhead_marks.get(i, stats.bytes_sent) for i in range(len(sessions))]
-        marks.append(stats.bytes_sent)
+        # Per-consumer overhead = bytes between this start and the next
+        # launch (or end of run).  A consumer whose turn never came before
+        # the cap gets 0 and is flagged via ``launched=False`` below.
+        marks = [overhead_marks.get(i, total_bytes) for i in range(len(sessions))]
+        marks.append(total_bytes)
         for index in range(len(sessions)):
-            overhead_ends[index] = marks[index + 1] - marks[index]
+            per_consumer[index] = (
+                marks[index + 1] - marks[index] if index in launched else 0
+            )
+    else:
+        # single/simultaneous: every consumer shares the same window, so
+        # the network total is split evenly — attributing each byte to
+        # exactly one consumer instead of to all of them at once.
+        started = [index for index in range(len(sessions)) if index in launched]
+        if started:
+            share, remainder = divmod(total_bytes, len(started))
+            for position, index in enumerate(started):
+                per_consumer[index] = share + (1 if position < remainder else 0)
+
+    consumers = []
     for index, session in enumerate(sessions):
         result = session.result
         if result is None:
@@ -141,12 +168,13 @@ def _drive_sessions(
                 node_id=session.device.node_id,
                 result=result,
                 recall=recall_fn(session),
-                overhead_bytes=overhead_ends.get(index, stats.bytes_sent),
+                overhead_bytes=per_consumer.get(index, 0),
+                launched=index in launched,
             )
         )
     return ExperimentOutcome(
         consumers=consumers,
-        total_overhead_bytes=stats.bytes_sent,
+        total_overhead_bytes=total_bytes,
         scenario=scenario,
     )
 

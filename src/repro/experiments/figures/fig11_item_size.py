@@ -10,11 +10,30 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.figures.common import retrieval_experiment
-from repro.experiments.runner import configured_seeds, render_table
+from repro.experiments.runner import point_mean, render_table, run_sweep
 from repro.experiments.workload import make_video_item
 
 MB = 1024 * 1024
 DEFAULT_SIZES = (1 * MB, 5 * MB, 10 * MB, 20 * MB)
+
+
+def _trial(point: Dict[str, int], seed: int) -> Dict[str, float]:
+    """One seeded retrieval at one item size (module-level: picklable)."""
+    item = make_video_item(point["size"])
+    outcome = retrieval_experiment(
+        seed,
+        item,
+        method="pdr",
+        rows=point["rows_cols"],
+        cols=point["rows_cols"],
+        redundancy=point["redundancy"],
+        sim_cap_s=600.0,
+    )
+    return {
+        "recall": outcome.first.recall,
+        "latency_s": outcome.first.result.latency,
+        "overhead_mb": outcome.total_overhead_bytes / 1e6,
+    }
 
 
 def run(
@@ -22,34 +41,29 @@ def run(
     seeds: Optional[Sequence[int]] = None,
     rows_cols: int = 10,
     redundancy: int = 1,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """One row per item size: recall, latency, overhead, overhead ratio."""
-    if seeds is None:
-        seeds = configured_seeds()
+    points = [
+        {"size": size, "rows_cols": rows_cols, "redundancy": redundancy}
+        for size in sizes
+    ]
+    sweep = run_sweep(
+        _trial,
+        points,
+        seeds=seeds,
+        jobs=jobs,
+        label_fn=lambda p: f"{p['size'] // MB} MB",
+    )
     table = []
-    for size in sizes:
-        recalls, latencies, overheads = [], [], []
-        for seed in seeds:
-            item = make_video_item(size)
-            outcome = retrieval_experiment(
-                seed,
-                item,
-                method="pdr",
-                rows=rows_cols,
-                cols=rows_cols,
-                redundancy=redundancy,
-                sim_cap_s=600.0,
-            )
-            recalls.append(outcome.first.recall)
-            latencies.append(outcome.first.result.latency)
-            overheads.append(outcome.total_overhead_bytes / 1e6)
-        n = len(seeds)
-        mean_overhead = sum(overheads) / n
+    for sweep_point in sweep:
+        size = sweep_point.point["size"]
+        mean_overhead = point_mean(sweep_point, "overhead_mb")
         table.append(
             {
                 "size_mb": round(size / MB, 1),
-                "recall": round(sum(recalls) / n, 3),
-                "latency_s": round(sum(latencies) / n, 2),
+                "recall": point_mean(sweep_point, "recall", 3),
+                "latency_s": point_mean(sweep_point, "latency_s", 2),
                 "overhead_mb": round(mean_overhead, 2),
                 "overhead_ratio": round(mean_overhead / (size / 1e6), 2),
             }

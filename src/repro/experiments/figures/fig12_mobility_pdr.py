@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.figures.common import retrieval_experiment
-from repro.experiments.runner import configured_seeds, render_table
+from repro.experiments.runner import point_mean, render_table, run_sweep
 from repro.experiments.scenario import build_campus_scenario
 from repro.experiments.workload import make_video_item
 from repro.mobility.campus import STUDENT_CENTER, CampusScenario
@@ -20,6 +20,31 @@ DEFAULT_SCALES = (0.5, 1.0, 1.5, 2.0)
 QUERY_START_S = 20.0
 
 
+def _trial(point: Dict[str, object], seed: int) -> Dict[str, float]:
+    """One seeded mobile retrieval at one frequency scale (picklable)."""
+    scenario = build_campus_scenario(
+        point["spec"],
+        seed=seed,
+        frequency_scale=point["scale"],
+        duration_s=point["duration_s"],
+    )
+    item = make_video_item(point["item_size"])
+    outcome = retrieval_experiment(
+        seed,
+        item,
+        method="pdr",
+        redundancy=point["redundancy"],
+        scenario=scenario,
+        start_at=QUERY_START_S,
+        sim_cap_s=point["duration_s"] - QUERY_START_S,
+    )
+    return {
+        "recall": outcome.first.recall,
+        "latency_s": outcome.first.result.latency,
+        "overhead_mb": outcome.total_overhead_bytes / 1e6,
+    }
+
+
 def run(
     scales: Sequence[float] = DEFAULT_SCALES,
     seeds: Optional[Sequence[int]] = None,
@@ -27,6 +52,7 @@ def run(
     scenario_spec: CampusScenario = STUDENT_CENTER,
     redundancy: int = 2,
     duration_s: float = 240.0,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """One row per mobility scale: recall, latency, overhead.
 
@@ -34,39 +60,32 @@ def run(
     away the only copy of a chunk, which the paper's scenario avoids by
     having copies cached during prior sharing.
     """
-    if seeds is None:
-        seeds = configured_seeds()
+    points = [
+        {
+            "spec": scenario_spec,
+            "scale": scale,
+            "item_size": item_size,
+            "redundancy": redundancy,
+            "duration_s": duration_s,
+        }
+        for scale in scales
+    ]
+    sweep = run_sweep(
+        _trial,
+        points,
+        seeds=seeds,
+        jobs=jobs,
+        label_fn=lambda p: f"{p['spec'].name} x{p['scale']}",
+    )
     table = []
-    for scale in scales:
-        recalls, latencies, overheads = [], [], []
-        for seed in seeds:
-            scenario = build_campus_scenario(
-                scenario_spec,
-                seed=seed,
-                frequency_scale=scale,
-                duration_s=duration_s,
-            )
-            item = make_video_item(item_size)
-            outcome = retrieval_experiment(
-                seed,
-                item,
-                method="pdr",
-                redundancy=redundancy,
-                scenario=scenario,
-                start_at=QUERY_START_S,
-                sim_cap_s=duration_s - QUERY_START_S,
-            )
-            recalls.append(outcome.first.recall)
-            latencies.append(outcome.first.result.latency)
-            overheads.append(outcome.total_overhead_bytes / 1e6)
-        n = len(seeds)
+    for sweep_point in sweep:
         table.append(
             {
                 "scenario": scenario_spec.name,
-                "mobility_scale": scale,
-                "recall": round(sum(recalls) / n, 3),
-                "latency_s": round(sum(latencies) / n, 2),
-                "overhead_mb": round(sum(overheads) / n, 2),
+                "mobility_scale": sweep_point.point["scale"],
+                "recall": point_mean(sweep_point, "recall", 3),
+                "latency_s": point_mean(sweep_point, "latency_s", 2),
+                "overhead_mb": point_mean(sweep_point, "overhead_mb", 2),
             }
         )
     return table

@@ -14,11 +14,30 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.figures.common import retrieval_experiment
-from repro.experiments.runner import configured_seeds, render_table
+from repro.experiments.runner import point_mean, render_table, run_sweep
 from repro.experiments.workload import make_video_item
 
 MB = 1024 * 1024
 DEFAULT_REDUNDANCIES = (1, 2, 3, 4, 5)
+
+
+def _trial(point: Dict[str, object], seed: int) -> Dict[str, float]:
+    """One seeded retrieval at one (method, redundancy) (picklable)."""
+    item = make_video_item(point["item_size"])
+    outcome = retrieval_experiment(
+        seed,
+        item,
+        method=point["method"],
+        rows=point["rows_cols"],
+        cols=point["rows_cols"],
+        redundancy=point["redundancy"],
+        sim_cap_s=600.0,
+    )
+    return {
+        "recall": outcome.first.recall,
+        "latency_s": outcome.first.result.latency,
+        "overhead_mb": outcome.total_overhead_bytes / 1e6,
+    }
 
 
 def run(
@@ -26,38 +45,37 @@ def run(
     seeds: Optional[Sequence[int]] = None,
     item_size: int = 20 * MB,
     rows_cols: int = 10,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """One row per (method, redundancy)."""
-    if seeds is None:
-        seeds = configured_seeds()
+    points = [
+        {
+            "method": method,
+            "redundancy": redundancy,
+            "item_size": item_size,
+            "rows_cols": rows_cols,
+        }
+        for method in ("pdr", "mdr")
+        for redundancy in redundancies
+    ]
+    sweep = run_sweep(
+        _trial,
+        points,
+        seeds=seeds,
+        jobs=jobs,
+        label_fn=lambda p: f"{p['method']} r={p['redundancy']}",
+    )
     table = []
-    for method in ("pdr", "mdr"):
-        for redundancy in redundancies:
-            recalls, latencies, overheads = [], [], []
-            for seed in seeds:
-                item = make_video_item(item_size)
-                outcome = retrieval_experiment(
-                    seed,
-                    item,
-                    method=method,
-                    rows=rows_cols,
-                    cols=rows_cols,
-                    redundancy=redundancy,
-                    sim_cap_s=600.0,
-                )
-                recalls.append(outcome.first.recall)
-                latencies.append(outcome.first.result.latency)
-                overheads.append(outcome.total_overhead_bytes / 1e6)
-            n = len(seeds)
-            table.append(
-                {
-                    "method": method,
-                    "redundancy": redundancy,
-                    "recall": round(sum(recalls) / n, 3),
-                    "latency_s": round(sum(latencies) / n, 2),
-                    "overhead_mb": round(sum(overheads) / n, 2),
-                }
-            )
+    for sweep_point in sweep:
+        table.append(
+            {
+                "method": sweep_point.point["method"],
+                "redundancy": sweep_point.point["redundancy"],
+                "recall": point_mean(sweep_point, "recall", 3),
+                "latency_s": point_mean(sweep_point, "latency_s", 2),
+                "overhead_mb": point_mean(sweep_point, "overhead_mb", 2),
+            }
+        )
     return table
 
 

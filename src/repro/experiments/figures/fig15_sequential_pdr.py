@@ -11,10 +11,34 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.figures.common import retrieval_experiment
-from repro.experiments.runner import configured_seeds, render_table
+from repro.experiments.runner import render_table, run_sweep
 from repro.experiments.workload import make_video_item
 
 MB = 1024 * 1024
+
+
+def _trial(point: Dict[str, int], seed: int) -> List[Dict[str, float]]:
+    """One seeded run; returns one dict per consumer position."""
+    item = make_video_item(point["item_size"])
+    outcome = retrieval_experiment(
+        seed,
+        item,
+        method="pdr",
+        rows=point["rows_cols"],
+        cols=point["rows_cols"],
+        redundancy=1,
+        n_consumers=point["n_consumers"],
+        mode="sequential",
+        sim_cap_s=1200.0,
+    )
+    return [
+        {
+            "recall": consumer.recall,
+            "latency": consumer.result.latency,
+            "overhead": consumer.overhead_bytes / 1e6,
+        }
+        for consumer in outcome.consumers
+    ]
 
 
 def run(
@@ -22,41 +46,34 @@ def run(
     seeds: Optional[Sequence[int]] = None,
     item_size: int = 20 * MB,
     rows_cols: int = 10,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """One row per consumer position, averaged over seeds."""
-    if seeds is None:
-        seeds = configured_seeds()
-    per_position: Dict[int, Dict[str, List[float]]] = {
-        index: {"recall": [], "latency": [], "overhead": []}
-        for index in range(n_consumers)
+    point = {
+        "n_consumers": n_consumers,
+        "item_size": item_size,
+        "rows_cols": rows_cols,
     }
-    for seed in seeds:
-        item = make_video_item(item_size)
-        outcome = retrieval_experiment(
-            seed,
-            item,
-            method="pdr",
-            rows=rows_cols,
-            cols=rows_cols,
-            redundancy=1,
-            n_consumers=n_consumers,
-            mode="sequential",
-            sim_cap_s=1200.0,
-        )
-        for index, consumer in enumerate(outcome.consumers):
-            per_position[index]["recall"].append(consumer.recall)
-            per_position[index]["latency"].append(consumer.result.latency)
-            per_position[index]["overhead"].append(consumer.overhead_bytes / 1e6)
+    sweep = run_sweep(
+        _trial,
+        [point],
+        seeds=seeds,
+        jobs=jobs,
+        label_fn=lambda p: f"{p['n_consumers']} sequential pdr",
+    )
+    per_seed = sweep[0].results
     table = []
     for index in range(n_consumers):
-        data = per_position[index]
-        n = len(data["recall"])
+        recalls = [consumers[index]["recall"] for consumers in per_seed]
+        latencies = [consumers[index]["latency"] for consumers in per_seed]
+        overheads = [consumers[index]["overhead"] for consumers in per_seed]
+        n = len(recalls)
         table.append(
             {
                 "consumer": index + 1,
-                "recall": round(sum(data["recall"]) / n, 3),
-                "latency_s": round(sum(data["latency"]) / n, 2),
-                "overhead_mb": round(sum(data["overhead"]) / n, 2),
+                "recall": round(sum(recalls) / n, 3) if n else float("nan"),
+                "latency_s": round(sum(latencies) / n, 2) if n else float("nan"),
+                "overhead_mb": round(sum(overheads) / n, 2) if n else float("nan"),
             }
         )
     return table

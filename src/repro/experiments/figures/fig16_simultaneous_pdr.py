@@ -11,11 +11,33 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.figures.common import retrieval_experiment
-from repro.experiments.runner import configured_seeds, render_table
+from repro.experiments.runner import point_mean, render_table, run_sweep
 from repro.experiments.workload import make_video_item
 
 MB = 1024 * 1024
 DEFAULT_CONSUMER_COUNTS = (1, 2, 3, 4, 5)
+
+
+def _trial(point: Dict[str, int], seed: int) -> Dict[str, float]:
+    """One seeded run at one consumer count (module-level: picklable)."""
+    item = make_video_item(point["item_size"])
+    outcome = retrieval_experiment(
+        seed,
+        item,
+        method="pdr",
+        rows=point["rows_cols"],
+        cols=point["rows_cols"],
+        redundancy=1,
+        n_consumers=point["count"],
+        mode="simultaneous",
+        sim_cap_s=900.0,
+    )
+    n = len(outcome.consumers)
+    return {
+        "recall": sum(c.recall for c in outcome.consumers) / n,
+        "latency_s": sum(c.result.latency for c in outcome.consumers) / n,
+        "overhead_mb": outcome.total_overhead_bytes / 1e6,
+    }
 
 
 def run(
@@ -23,41 +45,28 @@ def run(
     seeds: Optional[Sequence[int]] = None,
     item_size: int = 20 * MB,
     rows_cols: int = 10,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """One row per consumer count: mean per-consumer recall/latency."""
-    if seeds is None:
-        seeds = configured_seeds()
+    points = [
+        {"count": count, "item_size": item_size, "rows_cols": rows_cols}
+        for count in consumer_counts
+    ]
+    sweep = run_sweep(
+        _trial,
+        points,
+        seeds=seeds,
+        jobs=jobs,
+        label_fn=lambda p: f"{p['count']} simultaneous pdr",
+    )
     table = []
-    for count in consumer_counts:
-        recalls, latencies, overheads = [], [], []
-        for seed in seeds:
-            item = make_video_item(item_size)
-            outcome = retrieval_experiment(
-                seed,
-                item,
-                method="pdr",
-                rows=rows_cols,
-                cols=rows_cols,
-                redundancy=1,
-                n_consumers=count,
-                mode="simultaneous",
-                sim_cap_s=900.0,
-            )
-            recalls.append(
-                sum(c.recall for c in outcome.consumers) / len(outcome.consumers)
-            )
-            latencies.append(
-                sum(c.result.latency for c in outcome.consumers)
-                / len(outcome.consumers)
-            )
-            overheads.append(outcome.total_overhead_bytes / 1e6)
-        n = len(seeds)
+    for sweep_point in sweep:
         table.append(
             {
-                "consumers": count,
-                "recall": round(sum(recalls) / n, 3),
-                "latency_s": round(sum(latencies) / n, 2),
-                "overhead_mb": round(sum(overheads) / n, 2),
+                "consumers": sweep_point.point["count"],
+                "recall": point_mean(sweep_point, "recall", 3),
+                "latency_s": point_mean(sweep_point, "latency_s", 2),
+                "overhead_mb": point_mean(sweep_point, "overhead_mb", 2),
             }
         )
     return table

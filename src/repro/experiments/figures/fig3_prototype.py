@@ -8,39 +8,55 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.runner import configured_seeds, render_table
+from repro.experiments.runner import point_mean, render_table, run_sweep
 from repro.phone.prototype import MODES, PrototypeConfig, run_prototype
 
 #: Fig. 3 x-axis: concurrent senders to one receiver phone.
 DEFAULT_SENDER_COUNTS = (1, 2, 3, 4)
 
 
+def _trial(point: Dict[str, object], seed: int) -> Dict[str, float]:
+    """One seeded prototype run at one (mode, senders) (picklable)."""
+    config = PrototypeConfig(
+        n_senders=point["n_senders"],
+        mode=point["mode"],
+        packets_per_sender=point["packets_per_sender"],
+    )
+    return {"reception": run_prototype(config, seed).reception_rate}
+
+
 def run(
     sender_counts: Sequence[int] = DEFAULT_SENDER_COUNTS,
     seeds: Optional[Sequence[int]] = None,
     packets_per_sender: int = 6000,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """One row per (mode, sender count) with the mean reception rate."""
-    if seeds is None:
-        seeds = configured_seeds()
+    points = [
+        {
+            "mode": mode,
+            "n_senders": n_senders,
+            "packets_per_sender": packets_per_sender,
+        }
+        for mode in MODES
+        for n_senders in sender_counts
+    ]
+    sweep = run_sweep(
+        _trial,
+        points,
+        seeds=seeds,
+        jobs=jobs,
+        label_fn=lambda p: f"{p['mode']} x{p['n_senders']}",
+    )
     rows = []
-    for mode in MODES:
-        for n_senders in sender_counts:
-            rates = []
-            for seed in seeds:
-                config = PrototypeConfig(
-                    n_senders=n_senders,
-                    mode=mode,
-                    packets_per_sender=packets_per_sender,
-                )
-                rates.append(run_prototype(config, seed).reception_rate)
-            rows.append(
-                {
-                    "mode": mode,
-                    "senders": n_senders,
-                    "reception": round(sum(rates) / len(rates), 3),
-                }
-            )
+    for sweep_point in sweep:
+        rows.append(
+            {
+                "mode": sweep_point.point["mode"],
+                "senders": sweep_point.point["n_senders"],
+                "reception": point_mean(sweep_point, "reception", 3),
+            }
+        )
     return rows
 
 

@@ -8,13 +8,16 @@ drops 100% → 72.3% as hops grow 1 → 5; latency/overhead grow from
 
 from __future__ import annotations
 
-from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.rounds import RoundConfig
 from repro.experiments.figures.common import pdd_experiment
-from repro.experiments.runner import configured_seeds, render_table, scale_factor
-from repro.obs.profile import active_profiler
+from repro.experiments.runner import (
+    point_mean,
+    render_table,
+    run_sweep,
+    scale_factor,
+)
 
 DEFAULT_GRID_SIZES = (3, 5, 7, 9, 11)
 
@@ -22,46 +25,53 @@ DEFAULT_GRID_SIZES = (3, 5, 7, 9, 11)
 ENTRIES_PER_NODE = 50
 
 
+def _trial(point: Dict[str, int], seed: int) -> Dict[str, float]:
+    """One seeded run at one grid size (module-level: pool-picklable)."""
+    size = point["size"]
+    outcome = pdd_experiment(
+        seed,
+        rows=size,
+        cols=size,
+        metadata_count=point["entries_per_node"] * size * size,
+        round_config=RoundConfig(max_rounds=1),
+        ack=True,
+        sim_cap_s=120.0,
+    )
+    return {
+        "recall": outcome.first.recall,
+        "latency_s": outcome.first.result.latency,
+        "overhead_mb": outcome.total_overhead_bytes / 1e6,
+    }
+
+
 def run(
     grid_sizes: Sequence[int] = DEFAULT_GRID_SIZES,
     seeds: Optional[Sequence[int]] = None,
     entries_per_node: int = ENTRIES_PER_NODE,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """One row per grid size: recall, latency, overhead of one round."""
-    if seeds is None:
-        seeds = configured_seeds()
+    points = [
+        {"size": size, "entries_per_node": entries_per_node}
+        for size in grid_sizes
+    ]
+    sweep = run_sweep(
+        _trial,
+        points,
+        seeds=seeds,
+        jobs=jobs,
+        label_fn=lambda p: f"{p['size']}x{p['size']}",
+    )
     table = []
-    single_round = RoundConfig(max_rounds=1)
-    profiler = active_profiler()
-    for size in grid_sizes:
-        recalls, latencies, overheads = [], [], []
-        for seed in seeds:
-            labelled = (
-                profiler.label(f"{size}x{size} seed {seed}")
-                if profiler is not None
-                else nullcontext()
-            )
-            with labelled:
-                outcome = pdd_experiment(
-                    seed,
-                    rows=size,
-                    cols=size,
-                    metadata_count=entries_per_node * size * size,
-                    round_config=single_round,
-                    ack=True,
-                    sim_cap_s=120.0,
-                )
-            recalls.append(outcome.first.recall)
-            latencies.append(outcome.first.result.latency)
-            overheads.append(outcome.total_overhead_bytes / 1e6)
-        n = len(seeds)
+    for sweep_point in sweep:
+        size = sweep_point.point["size"]
         table.append(
             {
                 "grid": f"{size}x{size}",
                 "max_hops": (size - 1) // 2 if size > 1 else 0,
-                "recall": round(sum(recalls) / n, 3),
-                "latency_s": round(sum(latencies) / n, 2),
-                "overhead_mb": round(sum(overheads) / n, 2),
+                "recall": point_mean(sweep_point, "recall", 3),
+                "latency_s": point_mean(sweep_point, "latency_s", 2),
+                "overhead_mb": point_mean(sweep_point, "overhead_mb", 2),
             }
         )
     return table

@@ -11,10 +11,30 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.rounds import RoundConfig
 from repro.experiments.figures.common import pdd_experiment
-from repro.experiments.runner import configured_seeds, render_table
+from repro.experiments.runner import point_mean, render_table, run_sweep
 
 DEFAULT_WINDOWS = (0.2, 0.4, 0.6, 0.8, 1.0)
 DEFAULT_TDS = (0.0, 0.3)
+
+
+def _trial(point: Dict[str, object], seed: int) -> Dict[str, float]:
+    """One seeded run at one (T, T_d) point (module-level: picklable)."""
+    outcome = pdd_experiment(
+        seed,
+        rows=point["rows_cols"],
+        cols=point["rows_cols"],
+        metadata_count=point["metadata_count"],
+        round_config=RoundConfig(
+            window_s=point["window"], stop_ratio=0.0, continue_ratio=point["td"]
+        ),
+        sim_cap_s=180.0,
+    )
+    return {
+        "recall": outcome.first.recall,
+        "latency_s": outcome.first.result.latency,
+        "overhead_mb": outcome.total_overhead_bytes / 1e6,
+        "rounds": outcome.first.result.rounds,
+    }
 
 
 def run(
@@ -23,40 +43,38 @@ def run(
     seeds: Optional[Sequence[int]] = None,
     metadata_count: int = 5000,
     rows_cols: int = 10,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """One row per (T, T_d): recall, latency, overhead, rounds."""
-    if seeds is None:
-        seeds = configured_seeds()
+    points = [
+        {
+            "window": window,
+            "td": td,
+            "metadata_count": metadata_count,
+            "rows_cols": rows_cols,
+        }
+        for td in tds
+        for window in windows
+    ]
+    sweep = run_sweep(
+        _trial,
+        points,
+        seeds=seeds,
+        jobs=jobs,
+        label_fn=lambda p: f"T={p['window']} Td={p['td']}",
+    )
     table = []
-    for td in tds:
-        for window in windows:
-            recalls, latencies, overheads, rounds = [], [], [], []
-            for seed in seeds:
-                outcome = pdd_experiment(
-                    seed,
-                    rows=rows_cols,
-                    cols=rows_cols,
-                    metadata_count=metadata_count,
-                    round_config=RoundConfig(
-                        window_s=window, stop_ratio=0.0, continue_ratio=td
-                    ),
-                    sim_cap_s=180.0,
-                )
-                recalls.append(outcome.first.recall)
-                latencies.append(outcome.first.result.latency)
-                overheads.append(outcome.total_overhead_bytes / 1e6)
-                rounds.append(outcome.first.result.rounds)
-            n = len(seeds)
-            table.append(
-                {
-                    "T_s": window,
-                    "T_d": td,
-                    "recall": round(sum(recalls) / n, 3),
-                    "latency_s": round(sum(latencies) / n, 2),
-                    "overhead_mb": round(sum(overheads) / n, 2),
-                    "rounds": round(sum(rounds) / n, 1),
-                }
-            )
+    for sweep_point in sweep:
+        table.append(
+            {
+                "T_s": sweep_point.point["window"],
+                "T_d": sweep_point.point["td"],
+                "recall": point_mean(sweep_point, "recall", 3),
+                "latency_s": point_mean(sweep_point, "latency_s", 2),
+                "overhead_mb": point_mean(sweep_point, "overhead_mb", 2),
+                "rounds": point_mean(sweep_point, "rounds", 1),
+            }
+        )
     return table
 
 

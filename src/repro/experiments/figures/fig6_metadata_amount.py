@@ -11,43 +11,53 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.rounds import RoundConfig
 from repro.experiments.figures.common import pdd_experiment
-from repro.experiments.runner import configured_seeds, render_table
+from repro.experiments.runner import point_mean, render_table, run_sweep
 
 DEFAULT_AMOUNTS = (5000, 10000, 15000, 20000)
+
+
+def _trial(point: Dict[str, int], seed: int) -> Dict[str, float]:
+    """One seeded run at one metadata amount (module-level: picklable)."""
+    outcome = pdd_experiment(
+        seed,
+        rows=point["rows_cols"],
+        cols=point["rows_cols"],
+        metadata_count=point["amount"],
+        round_config=RoundConfig(),
+        sim_cap_s=240.0,
+    )
+    return {
+        "recall": outcome.first.recall,
+        "latency_s": outcome.first.result.latency,
+        "overhead_mb": outcome.total_overhead_bytes / 1e6,
+        "rounds": outcome.first.result.rounds,
+    }
 
 
 def run(
     amounts: Sequence[int] = DEFAULT_AMOUNTS,
     seeds: Optional[Sequence[int]] = None,
     rows_cols: int = 10,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """One row per metadata amount with the best controller parameters."""
-    if seeds is None:
-        seeds = configured_seeds()
+    points = [{"amount": amount, "rows_cols": rows_cols} for amount in amounts]
+    sweep = run_sweep(
+        _trial,
+        points,
+        seeds=seeds,
+        jobs=jobs,
+        label_fn=lambda p: f"{p['amount']} entries",
+    )
     table = []
-    for amount in amounts:
-        recalls, latencies, overheads, rounds = [], [], [], []
-        for seed in seeds:
-            outcome = pdd_experiment(
-                seed,
-                rows=rows_cols,
-                cols=rows_cols,
-                metadata_count=amount,
-                round_config=RoundConfig(),
-                sim_cap_s=240.0,
-            )
-            recalls.append(outcome.first.recall)
-            latencies.append(outcome.first.result.latency)
-            overheads.append(outcome.total_overhead_bytes / 1e6)
-            rounds.append(outcome.first.result.rounds)
-        n = len(seeds)
+    for sweep_point in sweep:
         table.append(
             {
-                "entries": amount,
-                "recall": round(sum(recalls) / n, 3),
-                "latency_s": round(sum(latencies) / n, 2),
-                "overhead_mb": round(sum(overheads) / n, 2),
-                "rounds": round(sum(rounds) / n, 1),
+                "entries": sweep_point.point["amount"],
+                "recall": point_mean(sweep_point, "recall", 3),
+                "latency_s": point_mean(sweep_point, "latency_s", 2),
+                "overhead_mb": point_mean(sweep_point, "overhead_mb", 2),
+                "rounds": point_mean(sweep_point, "rounds", 1),
             }
         )
     return table

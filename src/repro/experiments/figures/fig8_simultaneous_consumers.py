@@ -11,9 +11,29 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.rounds import RoundConfig
 from repro.experiments.figures.common import pdd_experiment
-from repro.experiments.runner import configured_seeds, render_table
+from repro.experiments.runner import point_mean, render_table, run_sweep
 
 DEFAULT_CONSUMER_COUNTS = (1, 2, 3, 4, 5)
+
+
+def _trial(point: Dict[str, int], seed: int) -> Dict[str, float]:
+    """One seeded run at one consumer count (module-level: picklable)."""
+    outcome = pdd_experiment(
+        seed,
+        rows=point["rows_cols"],
+        cols=point["rows_cols"],
+        metadata_count=point["metadata_count"],
+        round_config=RoundConfig(),
+        n_consumers=point["count"],
+        mode="simultaneous",
+        sim_cap_s=300.0,
+    )
+    n = len(outcome.consumers)
+    return {
+        "recall": sum(c.recall for c in outcome.consumers) / n,
+        "latency_s": sum(c.result.latency for c in outcome.consumers) / n,
+        "overhead_mb": outcome.total_overhead_bytes / 1e6,
+    }
 
 
 def run(
@@ -21,39 +41,28 @@ def run(
     seeds: Optional[Sequence[int]] = None,
     metadata_count: int = 5000,
     rows_cols: int = 10,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """One row per consumer count: mean per-consumer recall/latency."""
-    if seeds is None:
-        seeds = configured_seeds()
+    points = [
+        {"count": count, "metadata_count": metadata_count, "rows_cols": rows_cols}
+        for count in consumer_counts
+    ]
+    sweep = run_sweep(
+        _trial,
+        points,
+        seeds=seeds,
+        jobs=jobs,
+        label_fn=lambda p: f"{p['count']} simultaneous",
+    )
     table = []
-    for count in consumer_counts:
-        recalls, latencies, overheads = [], [], []
-        for seed in seeds:
-            outcome = pdd_experiment(
-                seed,
-                rows=rows_cols,
-                cols=rows_cols,
-                metadata_count=metadata_count,
-                round_config=RoundConfig(),
-                n_consumers=count,
-                mode="simultaneous",
-                sim_cap_s=300.0,
-            )
-            recalls.append(
-                sum(c.recall for c in outcome.consumers) / len(outcome.consumers)
-            )
-            latencies.append(
-                sum(c.result.latency for c in outcome.consumers)
-                / len(outcome.consumers)
-            )
-            overheads.append(outcome.total_overhead_bytes / 1e6)
-        n = len(seeds)
+    for sweep_point in sweep:
         table.append(
             {
-                "consumers": count,
-                "recall": round(sum(recalls) / n, 3),
-                "latency_s": round(sum(latencies) / n, 2),
-                "overhead_mb": round(sum(overheads) / n, 2),
+                "consumers": sweep_point.point["count"],
+                "recall": point_mean(sweep_point, "recall", 3),
+                "latency_s": point_mean(sweep_point, "latency_s", 2),
+                "overhead_mb": point_mean(sweep_point, "overhead_mb", 2),
             }
         )
     return table

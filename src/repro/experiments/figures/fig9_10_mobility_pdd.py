@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.rounds import RoundConfig
 from repro.experiments.figures.common import pdd_experiment
-from repro.experiments.runner import configured_seeds, render_table
+from repro.experiments.runner import point_mean, render_table, run_sweep
 from repro.experiments.scenario import build_campus_scenario
 from repro.mobility.campus import CLASSROOMS, STUDENT_CENTER, CampusScenario
 
@@ -22,6 +22,28 @@ DEFAULT_SCALES = (0.5, 1.0, 1.5, 2.0)
 #: have already perturbed the initial placement.
 QUERY_START_S = 20.0
 
+def _trial(point: Dict[str, object], seed: int) -> Dict[str, float]:
+    """One seeded mobile run at one frequency scale (picklable)."""
+    scenario = build_campus_scenario(
+        point["spec"],  # CampusScenario is a plain dataclass: picklable
+        seed=seed,
+        frequency_scale=point["scale"],
+        duration_s=point["duration_s"],
+    )
+    outcome = pdd_experiment(
+        seed,
+        metadata_count=point["metadata_count"],
+        round_config=RoundConfig(),
+        scenario=scenario,
+        start_at=QUERY_START_S,
+        sim_cap_s=point["duration_s"] - QUERY_START_S,
+    )
+    return {
+        "recall": outcome.first.recall,
+        "latency_s": outcome.first.result.latency,
+        "overhead_mb": outcome.total_overhead_bytes / 1e6,
+    }
+
 
 def run(
     scales: Sequence[float] = DEFAULT_SCALES,
@@ -29,39 +51,34 @@ def run(
     metadata_count: int = 5000,
     scenario_spec: CampusScenario = STUDENT_CENTER,
     duration_s: float = 120.0,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """One row per mobility scale: recall, latency, overhead."""
-    if seeds is None:
-        seeds = configured_seeds()
+    points = [
+        {
+            "spec": scenario_spec,
+            "scale": scale,
+            "metadata_count": metadata_count,
+            "duration_s": duration_s,
+        }
+        for scale in scales
+    ]
+    sweep = run_sweep(
+        _trial,
+        points,
+        seeds=seeds,
+        jobs=jobs,
+        label_fn=lambda p: f"{p['spec'].name} x{p['scale']}",
+    )
     table = []
-    for scale in scales:
-        recalls, latencies, overheads = [], [], []
-        for seed in seeds:
-            scenario = build_campus_scenario(
-                scenario_spec,
-                seed=seed,
-                frequency_scale=scale,
-                duration_s=duration_s,
-            )
-            outcome = pdd_experiment(
-                seed,
-                metadata_count=metadata_count,
-                round_config=RoundConfig(),
-                scenario=scenario,
-                start_at=QUERY_START_S,
-                sim_cap_s=duration_s - QUERY_START_S,
-            )
-            recalls.append(outcome.first.recall)
-            latencies.append(outcome.first.result.latency)
-            overheads.append(outcome.total_overhead_bytes / 1e6)
-        n = len(seeds)
+    for sweep_point in sweep:
         table.append(
             {
                 "scenario": scenario_spec.name,
-                "mobility_scale": scale,
-                "recall": round(sum(recalls) / n, 3),
-                "latency_s": round(sum(latencies) / n, 2),
-                "overhead_mb": round(sum(overheads) / n, 2),
+                "mobility_scale": sweep_point.point["scale"],
+                "recall": point_mean(sweep_point, "recall", 3),
+                "latency_s": point_mean(sweep_point, "latency_s", 2),
+                "overhead_mb": point_mean(sweep_point, "overhead_mb", 2),
             }
         )
     return table
@@ -71,10 +88,11 @@ def run_both_locations(
     scales: Sequence[float] = DEFAULT_SCALES,
     seeds: Optional[Sequence[int]] = None,
     metadata_count: int = 5000,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Student center (Figs. 9–10) plus the classroom variant."""
-    rows = run(scales, seeds, metadata_count, STUDENT_CENTER)
-    rows += run(scales, seeds, metadata_count, CLASSROOMS)
+    rows = run(scales, seeds, metadata_count, STUDENT_CENTER, jobs=jobs)
+    rows += run(scales, seeds, metadata_count, CLASSROOMS, jobs=jobs)
     return rows
 
 

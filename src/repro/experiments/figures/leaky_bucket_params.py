@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.runner import configured_seeds, render_table
+from repro.experiments.runner import point_mean, render_table, run_sweep
 from repro.net.leaky_bucket import LeakyBucketConfig
 from repro.phone.prototype import PrototypeConfig, run_prototype
 
@@ -28,56 +28,69 @@ DEFAULT_CAPACITIES = (
 )
 
 
+def _trial(point: Dict[str, object], seed: int) -> Dict[str, float]:
+    """One seeded bucket-mode prototype run (module-level: picklable)."""
+    config = PrototypeConfig(
+        n_senders=point["n_senders"],
+        mode="bucket",
+        packets_per_sender=point["packets_per_sender"],
+        bucket=LeakyBucketConfig(
+            capacity_bytes=point["capacity_bytes"],
+            leak_rate_bps=point["leak_rate_bps"],
+        ),
+    )
+    return {"reception": run_prototype(config, seed).reception_rate}
+
+
 def run(
     leak_rates: Sequence[float] = DEFAULT_LEAK_RATES,
     capacities: Sequence[int] = DEFAULT_CAPACITIES,
     seeds: Optional[Sequence[int]] = None,
     packets_per_sender: int = 4000,
     n_senders: int = 2,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Two sweeps: reception vs leak rate (at 300 KB) and vs capacity
     (at 4.5 Mbps), with concurrent senders so contention matters."""
-    if seeds is None:
-        seeds = configured_seeds()
+    points = [
+        {
+            "sweep": "leak_rate",
+            "capacity_bytes": 300 * 1024,
+            "leak_rate_bps": leak_rate,
+            "n_senders": n_senders,
+            "packets_per_sender": packets_per_sender,
+        }
+        for leak_rate in leak_rates
+    ]
+    points += [
+        {
+            "sweep": "capacity",
+            "capacity_bytes": capacity,
+            "leak_rate_bps": 4.5e6,
+            "n_senders": n_senders,
+            "packets_per_sender": packets_per_sender,
+        }
+        for capacity in capacities
+    ]
+    sweep = run_sweep(
+        _trial,
+        points,
+        seeds=seeds,
+        jobs=jobs,
+        label_fn=lambda p: (
+            f"{p['sweep']} {p['leak_rate_bps'] / 1e6:g}Mbps"
+            f"/{p['capacity_bytes'] // 1024}KB"
+        ),
+    )
     rows = []
-    for leak_rate in leak_rates:
-        rates = []
-        for seed in seeds:
-            config = PrototypeConfig(
-                n_senders=n_senders,
-                mode="bucket",
-                packets_per_sender=packets_per_sender,
-                bucket=LeakyBucketConfig(
-                    capacity_bytes=300 * 1024, leak_rate_bps=leak_rate
-                ),
-            )
-            rates.append(run_prototype(config, seed).reception_rate)
+    for sweep_point in sweep:
+        point = sweep_point.point
         rows.append(
             {
-                "sweep": "leak_rate",
-                "leak_mbps": round(leak_rate / 1e6, 1),
-                "capacity_kb": 300,
-                "reception": round(sum(rates) / len(rates), 3),
-            }
-        )
-    for capacity in capacities:
-        rates = []
-        for seed in seeds:
-            config = PrototypeConfig(
-                n_senders=n_senders,
-                mode="bucket",
-                packets_per_sender=packets_per_sender,
-                bucket=LeakyBucketConfig(
-                    capacity_bytes=capacity, leak_rate_bps=4.5e6
-                ),
-            )
-            rates.append(run_prototype(config, seed).reception_rate)
-        rows.append(
-            {
-                "sweep": "capacity",
-                "leak_mbps": 4.5,
-                "capacity_kb": capacity // 1024,
-                "reception": round(sum(rates) / len(rates), 3),
+                "sweep": point["sweep"],
+                "leak_mbps": round(point["leak_rate_bps"] / 1e6, 1),
+                "capacity_kb": point["capacity_bytes"] // 1024,
+                "reception": point_mean(sweep_point, "reception", 3),
             }
         )
     return rows

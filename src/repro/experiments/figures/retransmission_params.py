@@ -8,12 +8,26 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.runner import configured_seeds, render_table
+from repro.experiments.runner import point_mean, render_table, run_sweep
 from repro.net.reliability import ReliabilityConfig
 from repro.phone.prototype import PrototypeConfig, run_prototype
 
 DEFAULT_TIMEOUTS = (0.05, 0.1, 0.2, 0.3, 0.4)
 DEFAULT_MAX_RETRIES = (0, 1, 2, 4, 6)
+
+
+def _trial(point: Dict[str, object], seed: int) -> Dict[str, float]:
+    """One seeded bucket+ack prototype run (module-level: picklable)."""
+    config = PrototypeConfig(
+        n_senders=point["n_senders"],
+        mode="bucket_ack",
+        packets_per_sender=point["packets_per_sender"],
+        reliability=ReliabilityConfig(
+            retr_timeout_s=point["retr_timeout_s"],
+            max_retransmissions=point["max_retransmissions"],
+        ),
+    )
+    return {"reception": run_prototype(config, seed).reception_rate}
 
 
 def run(
@@ -22,49 +36,48 @@ def run(
     seeds: Optional[Sequence[int]] = None,
     packets_per_sender: int = 4000,
     n_senders: int = 2,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Two sweeps with the other knob held at the paper's best value."""
-    if seeds is None:
-        seeds = configured_seeds()
+    points = [
+        {
+            "sweep": "retr_timeout",
+            "retr_timeout_s": timeout,
+            "max_retransmissions": 4,
+            "n_senders": n_senders,
+            "packets_per_sender": packets_per_sender,
+        }
+        for timeout in timeouts
+    ]
+    points += [
+        {
+            "sweep": "max_retr",
+            "retr_timeout_s": 0.2,
+            "max_retransmissions": retries,
+            "n_senders": n_senders,
+            "packets_per_sender": packets_per_sender,
+        }
+        for retries in max_retries
+    ]
+    sweep = run_sweep(
+        _trial,
+        points,
+        seeds=seeds,
+        jobs=jobs,
+        label_fn=lambda p: (
+            f"{p['sweep']} t={p['retr_timeout_s']}"
+            f" r={p['max_retransmissions']}"
+        ),
+    )
     rows = []
-    for timeout in timeouts:
-        rates = []
-        for seed in seeds:
-            config = PrototypeConfig(
-                n_senders=n_senders,
-                mode="bucket_ack",
-                packets_per_sender=packets_per_sender,
-                reliability=ReliabilityConfig(
-                    retr_timeout_s=timeout, max_retransmissions=4
-                ),
-            )
-            rates.append(run_prototype(config, seed).reception_rate)
+    for sweep_point in sweep:
+        point = sweep_point.point
         rows.append(
             {
-                "sweep": "retr_timeout",
-                "timeout_s": timeout,
-                "max_retr": 4,
-                "reception": round(sum(rates) / len(rates), 3),
-            }
-        )
-    for retries in max_retries:
-        rates = []
-        for seed in seeds:
-            config = PrototypeConfig(
-                n_senders=n_senders,
-                mode="bucket_ack",
-                packets_per_sender=packets_per_sender,
-                reliability=ReliabilityConfig(
-                    retr_timeout_s=0.2, max_retransmissions=retries
-                ),
-            )
-            rates.append(run_prototype(config, seed).reception_rate)
-        rows.append(
-            {
-                "sweep": "max_retr",
-                "timeout_s": 0.2,
-                "max_retr": retries,
-                "reception": round(sum(rates) / len(rates), 3),
+                "sweep": point["sweep"],
+                "timeout_s": point["retr_timeout_s"],
+                "max_retr": point["max_retransmissions"],
+                "reception": point_mean(sweep_point, "reception", 3),
             }
         )
     return rows

@@ -11,10 +11,26 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.rounds import RoundConfig
 from repro.experiments.figures.common import pdd_experiment
-from repro.experiments.runner import configured_seeds, render_table
+from repro.experiments.runner import point_mean, render_table, run_sweep
 
 DEFAULT_AMOUNTS = (2500, 5000, 10000, 20000)
 DEFAULT_REDUNDANCIES = (1, 2)
+
+
+def _trial(point: Dict[str, int], seed: int) -> Dict[str, float]:
+    """One seeded single-round PDD run, no ack (module-level: picklable)."""
+    outcome = pdd_experiment(
+        seed,
+        rows=point["rows_cols"],
+        cols=point["rows_cols"],
+        metadata_count=point["amount"],
+        redundancy=point["redundancy"],
+        round_config=RoundConfig(max_rounds=1),
+        ack=False,
+        redundancy_detection=True,
+        sim_cap_s=120.0,
+    )
+    return {"recall": outcome.first.recall}
 
 
 def run(
@@ -22,35 +38,30 @@ def run(
     redundancies: Sequence[int] = DEFAULT_REDUNDANCIES,
     seeds: Optional[Sequence[int]] = None,
     rows_cols: int = 10,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Recall of one round, no ack, per (amount, redundancy)."""
-    if seeds is None:
-        seeds = configured_seeds()
+    points = [
+        {"amount": amount, "redundancy": redundancy, "rows_cols": rows_cols}
+        for redundancy in redundancies
+        for amount in amounts
+    ]
+    sweep = run_sweep(
+        _trial,
+        points,
+        seeds=seeds,
+        jobs=jobs,
+        label_fn=lambda p: f"{p['amount']} entries r={p['redundancy']}",
+    )
     table = []
-    single_round = RoundConfig(max_rounds=1)
-    for redundancy in redundancies:
-        for amount in amounts:
-            recalls = []
-            for seed in seeds:
-                outcome = pdd_experiment(
-                    seed,
-                    rows=rows_cols,
-                    cols=rows_cols,
-                    metadata_count=amount,
-                    redundancy=redundancy,
-                    round_config=single_round,
-                    ack=False,
-                    redundancy_detection=True,
-                    sim_cap_s=120.0,
-                )
-                recalls.append(outcome.first.recall)
-            table.append(
-                {
-                    "entries": amount,
-                    "redundancy": redundancy,
-                    "recall": round(sum(recalls) / len(recalls), 3),
-                }
-            )
+    for sweep_point in sweep:
+        table.append(
+            {
+                "entries": sweep_point.point["amount"],
+                "redundancy": sweep_point.point["redundancy"],
+                "recall": point_mean(sweep_point, "recall", 3),
+            }
+        )
     return table
 
 

@@ -3,13 +3,17 @@
 * **Recall** — fraction of distinct entries/chunks the consumer received.
 * **Latency** — query sent → last returned entry/chunk arrival.
 * **Message overhead** — bytes of all messages put on the air.
+
+Parallel campaigns (``run_trials(..., jobs=N)``) survive individual trial
+crashes: a trial that keeps failing after its retry is recorded as a
+:class:`TrialFailure` on the aggregate instead of aborting the campaign.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -30,8 +34,32 @@ class TrialMetrics:
 
 
 @dataclass(frozen=True)
+class TrialFailure:
+    """One seed's trial that kept failing after its retry.
+
+    Attributes:
+        label: The trial's campaign label (e.g. ``"seed 3"``).
+        seed: The seed that failed, or -1 when unknown.
+        kind: ``"error"`` (trial raised), ``"timeout"`` (per-trial deadline
+            hit) or ``"crash"`` (the worker process died).
+        error: Stringified exception from the final attempt.
+        attempts: How many times the trial was tried before giving up.
+    """
+
+    label: str
+    seed: int
+    kind: str
+    error: str
+    attempts: int
+
+
+@dataclass(frozen=True)
 class AggregateMetrics:
-    """Mean ± stdev over seeds."""
+    """Mean ± stdev over seeds.
+
+    ``failures`` lists the seeds that kept failing in a crash-isolated
+    parallel campaign; the statistics cover the surviving trials only.
+    """
 
     recall_mean: float
     recall_std: float
@@ -41,11 +69,28 @@ class AggregateMetrics:
     overhead_mb_std: float
     rounds_mean: float
     trials: int
+    failures: Tuple[TrialFailure, ...] = ()
 
     @classmethod
-    def from_trials(cls, trials: Sequence[TrialMetrics]) -> "AggregateMetrics":
-        if not trials:
+    def from_trials(
+        cls,
+        trials: Sequence[TrialMetrics],
+        failures: Sequence[TrialFailure] = (),
+    ) -> "AggregateMetrics":
+        if not trials and not failures:
             raise ValueError("cannot aggregate zero trials")
+        if not trials:
+            return cls(
+                recall_mean=0.0,
+                recall_std=0.0,
+                latency_mean=0.0,
+                latency_std=0.0,
+                overhead_mb_mean=0.0,
+                overhead_mb_std=0.0,
+                rounds_mean=0.0,
+                trials=0,
+                failures=tuple(failures),
+            )
         recalls = [t.recall for t in trials]
         latencies = [t.latency_s for t in trials]
         overheads = [t.overhead_mb for t in trials]
@@ -59,6 +104,7 @@ class AggregateMetrics:
             overhead_mb_std=_std(overheads),
             rounds_mean=_mean(rounds),
             trials=len(trials),
+            failures=tuple(failures),
         )
 
     def as_row(self) -> Dict[str, float]:

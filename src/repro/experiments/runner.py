@@ -1,31 +1,105 @@
-"""Multi-seed trial running and table rendering.
+"""Multi-seed trial running, parallel sweeps and table rendering.
 
 The paper averages each point over 5 runs (§VI-A); experiment modules
-define a per-seed trial function and hand it to :func:`run_trials`.
+define a per-seed trial function and hand it to :func:`run_trials`, or a
+per-(point, seed) function plus a parameter grid to :func:`run_sweep`.
 Benchmarks honour ``REPRO_SEEDS`` / ``REPRO_SCALE`` environment knobs so
 full-fidelity runs and quick CI runs share the same code.
+
+Parallelism
+-----------
+
+Trials are embarrassingly parallel — each builds its own simulator and
+RNGs from its seed — so both entry points take a ``jobs`` parameter
+(default: the ``REPRO_JOBS`` env knob, itself defaulting to 1) backed by
+:class:`concurrent.futures.ProcessPoolExecutor`.  ``jobs=1`` keeps
+everything on the caller's thread, exactly as before.  With ``jobs>1``:
+
+* results are reassembled in submission order, so tables are
+  bit-identical to a serial run of the same seeds regardless of worker
+  completion order;
+* each trial runs under a per-trial wall-clock deadline (``timeout_s`` /
+  ``REPRO_TRIAL_TIMEOUT``) enforced with ``SIGALRM`` inside the worker;
+* a trial that raises, times out, or kills its worker process is retried
+  once (``retries``) and then surfaced as a structured
+  :class:`~repro.experiments.metrics.TrialFailure` instead of aborting
+  the campaign.  After a worker *process* death the retry round runs
+  each remaining trial in its own single-worker pool, so a
+  deterministically crashing trial only takes itself down;
+* observability survives the fan-out: workers return their
+  :class:`~repro.obs.profile.RunProfiler` records and merged
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshots, which the
+  parent folds into its active profiler / registry collector;
+* process-wide JSONL trace sinks are sharded — worker ``k`` writes
+  ``trace.k.jsonl`` next to the parent's ``trace.jsonl``.  Other sink
+  types cannot cross a process boundary and raise
+  :class:`~repro.errors.ConfigurationError` telling you to use
+  ``jobs=1``.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import multiprocessing.util
 import os
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+import signal
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.experiments.metrics import AggregateMetrics, TrialMetrics
-from repro.obs.profile import active_profiler
+from repro.errors import ConfigurationError, ReproError
+from repro.experiments.metrics import AggregateMetrics, TrialFailure, TrialMetrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry, _clear_collectors, collect_registries
+from repro.obs.profile import RunProfiler, _clear_active, active_profiler
 
 #: Per the paper: "results are averaged over 5 runs".
 DEFAULT_SEEDS = (1, 2, 3, 4, 5)
 
 TrialFn = Callable[[int], TrialMetrics]
+SweepTrialFn = Callable[[Any, int], Any]
 
 
+class TrialTimeout(ReproError):
+    """A trial exceeded its per-trial wall-clock deadline."""
+
+
+# ----------------------------------------------------------------------
+# Environment knobs
+# ----------------------------------------------------------------------
 def configured_seeds(default: Sequence[int] = DEFAULT_SEEDS) -> List[int]:
-    """Seeds to use, honouring the ``REPRO_SEEDS`` env var (a count)."""
+    """Seeds to use, honouring the ``REPRO_SEEDS`` env var (a count).
+
+    Raises:
+        ConfigurationError: when ``REPRO_SEEDS`` is not a positive integer.
+    """
     raw = os.environ.get("REPRO_SEEDS")
     if not raw:
         return list(default)
-    count = max(1, int(raw))
+    try:
+        count = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_SEEDS must be a positive integer (a seed count), "
+            f"got {raw!r}"
+        ) from None
+    if count < 1:
+        raise ConfigurationError(
+            f"REPRO_SEEDS must be a positive integer (a seed count), "
+            f"got {raw!r}"
+        )
     return list(range(1, count + 1))
 
 
@@ -34,31 +108,475 @@ def scale_factor(default: float = 1.0) -> float:
 
     Benchmarks default to a reduced scale so the suite completes quickly;
     set ``REPRO_SCALE=1`` for paper-scale runs.
+
+    Raises:
+        ConfigurationError: when ``REPRO_SCALE`` is not a positive number.
     """
     raw = os.environ.get("REPRO_SCALE")
     if not raw:
         return default
-    return float(raw)
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_SCALE must be a positive number, got {raw!r}"
+        ) from None
+    if scale <= 0:
+        raise ConfigurationError(
+            f"REPRO_SCALE must be a positive number, got {raw!r}"
+        )
+    return scale
 
 
-def run_trials(trial: TrialFn, seeds: Optional[Iterable[int]] = None) -> AggregateMetrics:
+def configured_jobs(default: int = 1) -> int:
+    """Worker processes per campaign, honouring ``REPRO_JOBS``.
+
+    ``1`` (the default) runs everything in-process; ``0`` or ``auto``
+    means one worker per CPU core.
+
+    Raises:
+        ConfigurationError: when ``REPRO_JOBS`` is not a non-negative
+            integer or ``auto``.
+    """
+    raw = os.environ.get("REPRO_JOBS")
+    if not raw:
+        return default
+    if raw.strip().lower() == "auto":
+        return os.cpu_count() or 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_JOBS must be a non-negative integer or 'auto', got {raw!r}"
+        ) from None
+    if jobs < 0:
+        raise ConfigurationError(
+            f"REPRO_JOBS must be a non-negative integer or 'auto', got {raw!r}"
+        )
+    return jobs if jobs > 0 else (os.cpu_count() or 1)
+
+
+def configured_trial_timeout(default: Optional[float] = None) -> Optional[float]:
+    """Per-trial wall-clock deadline in seconds (``REPRO_TRIAL_TIMEOUT``).
+
+    ``None`` (unset/empty) disables the deadline.  Only enforced for
+    parallel campaigns (``jobs > 1``) on platforms with ``SIGALRM``.
+
+    Raises:
+        ConfigurationError: when ``REPRO_TRIAL_TIMEOUT`` is not a
+            positive number.
+    """
+    raw = os.environ.get("REPRO_TRIAL_TIMEOUT")
+    if not raw:
+        return default
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_TRIAL_TIMEOUT must be a positive number of seconds, "
+            f"got {raw!r}"
+        ) from None
+    if timeout <= 0:
+        raise ConfigurationError(
+            f"REPRO_TRIAL_TIMEOUT must be a positive number of seconds, "
+            f"got {raw!r}"
+        )
+    return timeout
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _worker_init(shard_bases: Sequence[str], shard_counter: Any) -> None:
+    """Per-worker-process setup.
+
+    Forked workers inherit the parent's process-wide observability state:
+    global trace sinks (whose file handles are shared with the parent),
+    the active profiler, and open registry collectors.  All of it belongs
+    to the parent, so drop it — workers report back through their return
+    values instead — then open this worker's own JSONL trace shards.
+    """
+    for sink in obs_trace.global_sinks():
+        # Remove without closing: under fork the file object is shared
+        # with the parent, and closing here would flush its buffer twice.
+        obs_trace.remove_global_sink(sink)
+    _clear_active()
+    _clear_collectors()
+    if shard_bases:
+        with shard_counter.get_lock():
+            index = shard_counter.value
+            shard_counter.value += 1
+        for base in shard_bases:
+            stem, ext = os.path.splitext(base)
+            sink = obs_trace.JsonlSink(f"{stem}.{index}{ext}")
+            obs_trace.install_global_sink(sink)
+            # Workers exit through os._exit (multiprocessing skips normal
+            # interpreter shutdown), so buffered tail events would be lost
+            # without an explicit finalizer.
+            multiprocessing.util.Finalize(sink, sink.close, exitpriority=10)
+
+
+@contextmanager
+def _trial_deadline(timeout_s: Optional[float], label: str) -> Iterator[None]:
+    """Raise :class:`TrialTimeout` if the block runs longer than allowed.
+
+    Uses ``SIGALRM``, which only exists on Unix and only works on the
+    main thread — both true inside a ProcessPoolExecutor worker.  On
+    platforms without it the deadline is silently unenforced.
+    """
+    if not timeout_s or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum: int, frame: Any) -> None:
+        raise TrialTimeout(
+            f"trial {label!r} exceeded its {timeout_s:g}s deadline"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run_task_in_worker(
+    trial: Callable[..., Any],
+    args: Tuple[Any, ...],
+    label: str,
+    timeout_s: Optional[float],
+) -> Tuple[Any, Tuple[Any, ...], Dict[str, Dict[str, object]]]:
+    """Execute one trial out-of-process and package its observability.
+
+    Returns ``(value, profiler_records, metrics_snapshot)`` where the
+    snapshot merges every registry the trial's simulators created.
+    """
+    profiler = RunProfiler()
+    with collect_registries() as registries:
+        with profiler.activate(), profiler.label(label):
+            with _trial_deadline(timeout_s, label):
+                value = trial(*args)
+    merged = MetricsRegistry()
+    for registry in registries:
+        merged.merge_snapshot(registry.snapshot())
+    return value, tuple(profiler.records), merged.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Task:
+    """One (trial, args) unit of a campaign, keyed for reassembly."""
+
+    key: int
+    seed: int
+    label: str
+    args: Tuple[Any, ...]
+
+
+def _pool_context() -> Any:
+    """Fork when available: cheap, and inherits imported trial modules."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _plan_trace_shards(context: Any) -> List[str]:
+    """Decide how process-wide trace sinks behave under a fan-out.
+
+    JSONL sinks shard (worker ``k`` writes ``<stem>.k<ext>``); anything
+    else cannot cross a process boundary, so the campaign must run with
+    ``jobs=1``.
+    """
+    bases: List[str] = []
+    for sink in obs_trace.global_sinks():
+        if isinstance(sink, obs_trace.JsonlSink):
+            bases.append(sink.path)
+        else:
+            raise ConfigurationError(
+                f"trace sink {type(sink).__name__} cannot follow trials into "
+                f"worker processes; run with jobs=1 (--jobs 1) to keep "
+                f"tracing through it"
+            )
+    if bases and context.get_start_method() != "fork":
+        raise ConfigurationError(
+            "per-worker trace shards need the 'fork' start method; run "
+            "with jobs=1 (--jobs 1) to trace on this platform"
+        )
+    return bases
+
+
+def _failure_kind(error: BaseException) -> str:
+    if isinstance(error, TrialTimeout):
+        return "timeout"
+    if isinstance(error, BrokenProcessPool):
+        return "crash"
+    return "error"
+
+
+def _execute_parallel(
+    trial: Callable[..., Any],
+    tasks: Sequence[_Task],
+    jobs: int,
+    timeout_s: Optional[float],
+    retries: int,
+) -> Tuple[Dict[int, Any], Dict[int, TrialFailure]]:
+    """Fan tasks out over worker processes with retry and crash isolation.
+
+    Returns ``(values_by_key, failures_by_key)``.  Worker profiler records
+    are folded into the parent's active profiler and worker metric
+    snapshots into a registry that joins any open
+    :func:`collect_registries` block.
+    """
+    context = _pool_context()
+    shard_bases = _plan_trace_shards(context)
+    shard_counter = context.Value("i", 0) if shard_bases else None
+    profiler = active_profiler()
+    # Created here so it registers with the caller's collector (if any);
+    # every worker snapshot is merged into it.
+    campaign_metrics = MetricsRegistry()
+
+    values: Dict[int, Any] = {}
+    failures: Dict[int, TrialFailure] = {}
+    attempts: Dict[int, int] = {task.key: 0 for task in tasks}
+    queue: List[_Task] = list(tasks)
+    isolate = False  # after a worker death, retry one task per pool
+
+    while queue:
+        batch, queue = queue, []
+        groups = [[task] for task in batch] if isolate else [batch]
+        saw_crash = False
+        for group in groups:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(group)),
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(shard_bases, shard_counter),
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _run_task_in_worker, trial, task.args, task.label, timeout_s
+                    ): task
+                    for task in group
+                }
+                for future, task in futures.items():
+                    try:
+                        value, records, snapshot = future.result()
+                    except BaseException as error:  # noqa: BLE001 — recorded
+                        if isinstance(error, BrokenProcessPool):
+                            saw_crash = True
+                        attempts[task.key] += 1
+                        if attempts[task.key] <= retries:
+                            queue.append(task)
+                        else:
+                            failures[task.key] = TrialFailure(
+                                label=task.label,
+                                seed=task.seed,
+                                kind=_failure_kind(error),
+                                error=f"{type(error).__name__}: {error}",
+                                attempts=attempts[task.key],
+                            )
+                    else:
+                        values[task.key] = value
+                        if profiler is not None:
+                            profiler.extend(records)
+                        campaign_metrics.merge_snapshot(snapshot)
+        if saw_crash:
+            isolate = True
+
+    return values, failures
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def run_trials(
+    trial: TrialFn,
+    seeds: Optional[Iterable[int]] = None,
+    jobs: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+) -> AggregateMetrics:
     """Run ``trial`` per seed and aggregate.
+
+    With ``jobs=1`` (the default unless ``REPRO_JOBS`` says otherwise)
+    trials run serially in-process and any exception propagates, exactly
+    as before.  With ``jobs>1`` trials fan out over worker processes;
+    a trial that keeps failing after ``retries`` extra attempts becomes a
+    :class:`~repro.experiments.metrics.TrialFailure` on the returned
+    aggregate and the campaign continues.  Results are aggregated in seed
+    order either way, so the statistics are identical for both paths.
 
     When a :class:`repro.obs.profile.RunProfiler` is active (CLI
     ``--metrics``), each trial's simulator runs are labelled with its seed
-    so the profile reads per-trial.
+    so the profile reads per-trial — including trials that ran in workers.
     """
     if seeds is None:
         seeds = configured_seeds()
-    profiler = active_profiler()
-    results = []
-    for seed in seeds:
-        if profiler is not None:
-            with profiler.label(f"seed {seed}"):
+    seeds = list(seeds)
+    if jobs is None:
+        jobs = configured_jobs()
+    if timeout_s is None:
+        timeout_s = configured_trial_timeout()
+    if jobs == 1:
+        profiler = active_profiler()
+        results = []
+        for seed in seeds:
+            if profiler is not None:
+                with profiler.label(f"seed {seed}"):
+                    results.append(trial(seed))
+            else:
                 results.append(trial(seed))
-        else:
-            results.append(trial(seed))
-    return AggregateMetrics.from_trials(results)
+        return AggregateMetrics.from_trials(results)
+
+    tasks = [
+        _Task(key=index, seed=seed, label=f"seed {seed}", args=(seed,))
+        for index, seed in enumerate(seeds)
+    ]
+    values, failures = _execute_parallel(trial, tasks, jobs, timeout_s, retries)
+    ordered = [values[key] for key in sorted(values)]
+    ordered_failures = [failures[key] for key in sorted(failures)]
+    return AggregateMetrics.from_trials(ordered, failures=ordered_failures)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One parameter point's slice of a sweep.
+
+    Attributes:
+        point: The parameter-point object handed to :func:`run_sweep`.
+        label: Human label used in profiles and failure records.
+        results: Per-seed trial return values, in seed order, for the
+            seeds that succeeded.
+        seeds: The seeds behind ``results`` (same order).
+        failures: Seeds that kept failing (parallel campaigns only).
+    """
+
+    point: Any
+    label: str
+    results: Tuple[Any, ...]
+    seeds: Tuple[int, ...]
+    failures: Tuple[TrialFailure, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether at least one seed produced a result."""
+        return bool(self.results)
+
+
+def run_sweep(
+    trial: SweepTrialFn,
+    points: Sequence[Any],
+    seeds: Optional[Iterable[int]] = None,
+    jobs: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    label_fn: Optional[Callable[[Any], str]] = None,
+) -> List[SweepPoint]:
+    """Run ``trial(point, seed)`` over a whole (point × seed) grid.
+
+    The figure modules' sweep loops are all instances of this shape; the
+    grid is flattened into independent tasks so parallelism spans points
+    as well as seeds (a sweep of 5 points × 5 seeds keeps 8 workers busy).
+    Returns one :class:`SweepPoint` per point, in the order given,
+    regardless of completion order — bit-identical between ``jobs=1`` and
+    ``jobs=N``.
+
+    ``trial`` must be picklable for parallel runs (a module-level
+    function) and ``point`` must be a picklable value; figure modules
+    pass plain dicts of scalars.  With ``jobs=1`` everything runs
+    in-process and exceptions propagate, as the hand-rolled loops did.
+
+    ``label_fn(point)`` names each point in profiles and failure records
+    (trials are labelled ``"<point-label> seed <seed>"``).
+    """
+    if seeds is None:
+        seeds = configured_seeds()
+    seeds = list(seeds)
+    points = list(points)
+    if jobs is None:
+        jobs = configured_jobs()
+    if timeout_s is None:
+        timeout_s = configured_trial_timeout()
+    labels = [
+        label_fn(point) if label_fn is not None else f"point {index}"
+        for index, point in enumerate(points)
+    ]
+
+    if jobs == 1:
+        profiler = active_profiler()
+        sweep = []
+        for index, point in enumerate(points):
+            results = []
+            for seed in seeds:
+                if profiler is not None:
+                    with profiler.label(f"{labels[index]} seed {seed}"):
+                        results.append(trial(point, seed))
+                else:
+                    results.append(trial(point, seed))
+            sweep.append(
+                SweepPoint(
+                    point=point,
+                    label=labels[index],
+                    results=tuple(results),
+                    seeds=tuple(seeds),
+                )
+            )
+        return sweep
+
+    tasks = []
+    for point_index, point in enumerate(points):
+        for seed_index, seed in enumerate(seeds):
+            tasks.append(
+                _Task(
+                    key=point_index * len(seeds) + seed_index,
+                    seed=seed,
+                    label=f"{labels[point_index]} seed {seed}",
+                    args=(point, seed),
+                )
+            )
+    values, failures_by_key = _execute_parallel(trial, tasks, jobs, timeout_s, retries)
+
+    sweep = []
+    for point_index, point in enumerate(points):
+        point_results = []
+        point_seeds = []
+        point_failures = []
+        for seed_index, seed in enumerate(seeds):
+            key = point_index * len(seeds) + seed_index
+            if key in values:
+                point_results.append(values[key])
+                point_seeds.append(seed)
+            elif key in failures_by_key:
+                point_failures.append(failures_by_key[key])
+        sweep.append(
+            SweepPoint(
+                point=point,
+                label=labels[point_index],
+                results=tuple(point_results),
+                seeds=tuple(point_seeds),
+                failures=tuple(point_failures),
+            )
+        )
+    return sweep
+
+
+def point_mean(
+    sweep_point: SweepPoint, key: str, ndigits: Optional[int] = None
+) -> float:
+    """Mean of one field over a point's surviving per-seed result dicts.
+
+    ``nan`` when every seed of the point failed, so a crashed point shows
+    up in a rendered table as a visible hole rather than a silent zero.
+    """
+    values = [result[key] for result in sweep_point.results]
+    if not values:
+        return float("nan")
+    mean = sum(values) / len(values)
+    return round(mean, ndigits) if ndigits is not None else mean
 
 
 def render_table(

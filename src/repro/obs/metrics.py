@@ -10,12 +10,22 @@ Instruments are deliberately primitive: plain attribute arithmetic, no
 locks, no labels, no export dependencies.  Getter methods are idempotent
 (``registry.counter("x")`` twice returns the same object), which lets
 independent layers share instruments by name.
+
+Two facilities support multi-process campaigns (``run_trials(jobs=N)``):
+
+* :meth:`MetricsRegistry.merge_snapshot` folds a :meth:`snapshot` dict —
+  e.g. one returned by a worker process — into a live registry;
+* :func:`collect_registries` gathers every registry created inside a
+  block (each simulator creates one), so a driver can merge them into a
+  single campaign-wide view without threading a registry through every
+  layer.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 
@@ -44,6 +54,10 @@ class Counter:
     def inc(self, amount: Union[int, float] = 1) -> None:
         self.value += amount
 
+    def reset(self) -> None:
+        """Zero the counter in place (holders keep a valid reference)."""
+        self.value = 0
+
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value})"
 
@@ -71,6 +85,13 @@ class Gauge:
                 self.min_value = value
         self.value = value
         self.samples += 1
+
+    def reset(self) -> None:
+        """Forget all samples in place (holders keep a valid reference)."""
+        self.value = 0.0
+        self.max_value = 0.0
+        self.min_value = 0.0
+        self.samples = 0
 
     def __repr__(self) -> str:
         return f"Gauge({self.name}={self.value}, max={self.max_value})"
@@ -132,6 +153,14 @@ class Histogram:
                 return self.max
         return self.max
 
+    def reset(self) -> None:
+        """Empty the histogram in place (holders keep a valid reference)."""
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.min = 0.0
+        self.max = 0.0
+
     def bucket_counts(self) -> Dict[str, int]:
         """Cumulative-free per-bucket counts keyed by upper bound."""
         keyed = {f"le_{bound:g}": n for bound, n in zip(self.buckets, self.counts)}
@@ -149,6 +178,8 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        for bucket in _COLLECTORS:
+            bucket.append(self)
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -174,6 +205,22 @@ class MetricsRegistry:
         return histogram
 
     # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every instrument *in place*.
+
+        Instruments stay registered under their names and objects handed
+        out earlier keep working — layers that cached a counter reference
+        (e.g. :class:`repro.net.stats.NetworkStats`) keep recording into
+        the same, now-zeroed, instrument.
+        """
+        for counter in self._counters.values():
+            counter.reset()
+        for gauge in self._gauges.values():
+            gauge.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+    # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Nested plain-dict view of everything recorded so far."""
         return {
@@ -185,6 +232,7 @@ class MetricsRegistry:
                     "value": gauge.value,
                     "max": gauge.max_value,
                     "min": gauge.min_value,
+                    "samples": gauge.samples,
                 }
                 for name, gauge in sorted(self._gauges.items())
             },
@@ -198,10 +246,71 @@ class MetricsRegistry:
                     "p50": hist.quantile(0.5),
                     "p99": hist.quantile(0.99),
                     "buckets": hist.bucket_counts(),
+                    "bounds": list(hist.buckets),
                 }
                 for name, hist in sorted(self._histograms.items())
             },
         }
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Counters add; gauges merge their extremes (the merged-in last
+        value wins as the current value); histograms add their per-bucket
+        counts, which requires both sides to use the same bucket bounds.
+
+        This is how worker processes report back to a parallel campaign:
+        each worker snapshots its registries, the parent merges them.
+
+        Raises:
+            ConfigurationError: when a histogram in the snapshot uses
+                bucket bounds different from the local instrument's.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, data in snapshot.get("gauges", {}).items():
+            samples = int(data.get("samples", 1))
+            if samples <= 0:
+                continue
+            gauge = self.gauge(name)
+            if gauge.samples == 0:
+                gauge.max_value = data["max"]
+                gauge.min_value = data["min"]
+            else:
+                gauge.max_value = max(gauge.max_value, data["max"])
+                gauge.min_value = min(gauge.min_value, data["min"])
+            gauge.value = data["value"]
+            gauge.samples += samples
+        for name, data in snapshot.get("histograms", {}).items():
+            counts = [
+                int(n) for n in data["buckets"].values()
+            ]  # insertion order: bounds ascending, then overflow
+            if "bounds" in data:
+                bounds = tuple(float(b) for b in data["bounds"])
+            else:
+                # Legacy snapshots only carry %g-formatted key names.
+                bounds = tuple(
+                    float(key[3:]) for key in data["buckets"] if key != "overflow"
+                )
+            histogram = self.histogram(name, bounds)
+            if histogram.buckets != bounds:
+                raise ConfigurationError(
+                    f"cannot merge histogram {name!r}: snapshot buckets "
+                    f"{bounds} != local buckets {histogram.buckets}"
+                )
+            incoming = int(data["count"])
+            if incoming == 0:
+                continue
+            if histogram.count == 0:
+                histogram.min = data["min"]
+                histogram.max = data["max"]
+            else:
+                histogram.min = min(histogram.min, data["min"])
+                histogram.max = max(histogram.max, data["max"])
+            for index, n in enumerate(counts):
+                histogram.counts[index] += n
+            histogram.total += data["sum"]
+            histogram.count += incoming
 
     def render(self) -> str:
         """Human-readable multi-line summary (CLI ``--metrics``)."""
@@ -226,3 +335,37 @@ class MetricsRegistry:
                     f"max={hist.max:g}"
                 )
         return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+#: Active collection buckets; every MetricsRegistry created while one is
+#: open appends itself (see :func:`collect_registries`).
+_COLLECTORS: List[List["MetricsRegistry"]] = []
+
+
+@contextmanager
+def collect_registries() -> Iterator[List["MetricsRegistry"]]:
+    """Collect every :class:`MetricsRegistry` created inside the block.
+
+    Used by campaign drivers (CLI ``--metrics``, parallel trial workers)
+    to find the registries the simulators create deep inside experiment
+    code, so they can be merged into one campaign-wide view::
+
+        with collect_registries() as registries:
+            run_experiments()
+        merged = MetricsRegistry()
+        for registry in registries:
+            merged.merge_snapshot(registry.snapshot())
+
+    Nestable; each open block gets its own independent list.
+    """
+    bucket: List[MetricsRegistry] = []
+    _COLLECTORS.append(bucket)
+    try:
+        yield bucket
+    finally:
+        _COLLECTORS.remove(bucket)
+
+
+def _clear_collectors() -> None:
+    """Drop collector buckets inherited by a forked worker process."""
+    _COLLECTORS.clear()

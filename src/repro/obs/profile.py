@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -81,6 +81,17 @@ class RunProfiler:
             )
         )
 
+    def extend(self, records: Iterable[RunRecord]) -> None:
+        """Merge records from another profiler.
+
+        Parallel trial workers each run their own :class:`RunProfiler`
+        (labelled with the trial's seed/point) and ship the records back;
+        the parent calls this so ``--metrics`` output stays per-trial even
+        when the trials ran out-of-process.  :class:`RunRecord` is a frozen
+        dataclass, so records pickle across process boundaries unchanged.
+        """
+        self.records.extend(records)
+
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, float]:
         """Aggregate totals over all recorded runs."""
@@ -125,3 +136,9 @@ _ACTIVE: Optional[RunProfiler] = None
 def active_profiler() -> Optional[RunProfiler]:
     """The profiler currently activated, or None."""
     return _ACTIVE
+
+
+def _clear_active() -> None:
+    """Drop a profiler inherited by a forked worker process."""
+    global _ACTIVE
+    _ACTIVE = None

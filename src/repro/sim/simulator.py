@@ -164,7 +164,21 @@ class Simulator:
         return len(self._queue)
 
     def reset(self) -> None:
-        """Clear the queue and rewind the clock (for reuse in tests)."""
+        """Rewind the simulator for reuse (tests, repeated campaigns).
+
+        Cleared: the event queue, the virtual clock, the stop flag, the
+        event/queue-depth counters, and every instrument in ``metrics``.
+        The metrics are zeroed *in place* — components that cached
+        instrument references (``NetworkStats``, the round controller's
+        duration histogram, the radio queue gauge) keep recording into
+        the same objects, now reading zero.
+
+        NOT cleared: the trace bus (sink subscriptions and per-kind
+        emission tallies persist) and any state owned by objects built on
+        top of the simulator — devices, caches, and the per-kind
+        ``Counter`` breakdowns kept by ``NetworkStats`` outside the
+        registry.  Rebuild the scenario when you need a fully fresh run.
+        """
         if self._running:
             raise SimulationError("cannot reset a running simulator")
         self._queue.clear()
@@ -172,3 +186,4 @@ class Simulator:
         self._stopped = False
         self.events_processed = 0
         self.peak_queue_depth = 0
+        self.metrics.reset()

@@ -50,3 +50,22 @@ def test_parser_flags():
     assert args.figure == "fig5"
     assert args.seeds == 2
     assert args.scale is None
+
+
+def test_jobs_flag_sets_environment(monkeypatch):
+    # setenv first so monkeypatch restores the pre-test state even though
+    # main() itself mutates os.environ.
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    import os
+
+    assert main(["list", "--jobs", "4"]) == 0
+    assert os.environ["REPRO_JOBS"] == "4"
+
+
+def test_bad_jobs_env_reports_cleanly(capsys, monkeypatch):
+    """A typo'd knob prints one configuration error, not a traceback."""
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    assert main(["fig4"]) == 2
+    err = capsys.readouterr().err
+    assert "configuration error" in err
+    assert "REPRO_JOBS" in err

@@ -90,3 +90,42 @@ def test_round_config_override_respected():
         round_config=RoundConfig(max_rounds=1),
     )
     assert outcome.first.result.rounds == 1
+
+
+def test_simultaneous_overheads_split_not_duplicated():
+    """Regression: single/simultaneous modes used to report the whole
+    network's bytes_sent for *every* consumer, so summing per-consumer
+    overhead double-counted each byte once per consumer."""
+    outcome = pdd_experiment(
+        seed=7, rows=4, cols=4, metadata_count=60,
+        n_consumers=3, mode="simultaneous", sim_cap_s=200.0,
+    )
+    per_consumer = [c.overhead_bytes for c in outcome.consumers]
+    assert sum(per_consumer) == outcome.total_overhead_bytes
+    # an even split, up to the integer remainder
+    assert max(per_consumer) - min(per_consumer) <= 1
+    assert all(c.launched for c in outcome.consumers)
+
+
+def test_single_consumer_gets_full_total():
+    outcome = pdd_experiment(seed=8, rows=3, cols=3, metadata_count=30)
+    assert outcome.first.overhead_bytes == outcome.total_overhead_bytes
+
+
+def test_never_launched_sequential_consumer_is_flagged():
+    """Regression: a sequential consumer whose turn never came before the
+    simulation cap used to get overhead window [bytes_at_cap, total] = a
+    real-looking 0-ish number with launched implied; now it is explicit."""
+    outcome = pdd_experiment(
+        seed=9, rows=4, cols=4, metadata_count=60,
+        n_consumers=4, mode="sequential", sim_cap_s=3.0,
+    )
+    launched = [c for c in outcome.consumers if c.launched]
+    skipped = [c for c in outcome.consumers if not c.launched]
+    assert launched, "first consumer always launches"
+    assert skipped, "cap of 3s cannot run four sequential discoveries"
+    for consumer in skipped:
+        assert consumer.overhead_bytes == 0
+    assert (
+        sum(c.overhead_bytes for c in launched) == outcome.total_overhead_bytes
+    )

@@ -1,0 +1,160 @@
+"""Parallel campaign tests: determinism, crash isolation, observability.
+
+The trial functions live at module level so forked workers can resolve
+them by reference.  Each is deterministic in its seed, which is what
+makes the bit-identity assertions meaningful.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.metrics import TrialMetrics
+from repro.experiments.runner import run_sweep, run_trials
+from repro.obs import trace as obs_trace
+
+
+def _ok_trial(seed):
+    return TrialMetrics(
+        recall=1.0, latency_s=float(seed), overhead_bytes=1000 * seed
+    )
+
+
+def _raises_on_seed_2(seed):
+    if seed == 2:
+        raise RuntimeError("injected failure")
+    return _ok_trial(seed)
+
+
+def _sleeps_on_seed_2(seed):
+    if seed == 2:
+        time.sleep(30.0)
+    return _ok_trial(seed)
+
+
+def _dies_on_seed_2(seed):
+    if seed == 2:
+        os._exit(17)  # hard worker death, not an exception
+    return _ok_trial(seed)
+
+
+def _traced_trial(seed):
+    # Like Simulator's bus: subscribe whatever process-wide sinks exist
+    # in *this* process — in a worker, its own JSONL shard.
+    bus = obs_trace.TraceBus()
+    for sink in obs_trace.global_sinks():
+        bus.subscribe(sink)
+    bus.emit("trial.ran", seed=seed)
+    return _ok_trial(seed)
+
+
+def _sweep_trial(point, seed):
+    return {"score": point["base"] * 100 + seed}
+
+
+def _sweep_raises_everywhere(point, seed):
+    raise ValueError(f"bad point {point['base']}")
+
+
+def test_parallel_matches_serial_aggregate():
+    """Same seeds, any worker count → the same AggregateMetrics."""
+    serial = run_trials(_ok_trial, seeds=[1, 2, 3, 4, 5], jobs=1)
+    parallel = run_trials(_ok_trial, seeds=[1, 2, 3, 4, 5], jobs=4)
+    assert parallel == serial
+
+
+def test_parallel_failure_becomes_structured_row():
+    agg = run_trials(_raises_on_seed_2, seeds=[1, 2, 3], jobs=2)
+    assert agg.trials == 2  # seeds 1 and 3 still aggregated
+    assert len(agg.failures) == 1
+    failure = agg.failures[0]
+    assert failure.seed == 2
+    assert failure.kind == "error"
+    assert failure.attempts == 2  # first try + one retry
+    assert "injected failure" in failure.error
+
+
+def test_serial_path_still_propagates():
+    """jobs=1 keeps the historical contract: exceptions escape."""
+    with pytest.raises(RuntimeError):
+        run_trials(_raises_on_seed_2, seeds=[1, 2, 3], jobs=1)
+
+
+@pytest.mark.skipif(
+    not hasattr(__import__("signal"), "SIGALRM"), reason="needs SIGALRM"
+)
+def test_parallel_timeout_becomes_failure():
+    agg = run_trials(
+        _sleeps_on_seed_2, seeds=[1, 2, 3], jobs=2, timeout_s=0.5, retries=0
+    )
+    assert agg.trials == 2
+    assert [f.kind for f in agg.failures] == ["timeout"]
+    assert agg.failures[0].seed == 2
+
+
+def test_parallel_worker_crash_is_isolated():
+    """A worker that dies mid-trial surfaces as kind='crash'; the other
+    seeds — possibly collateral damage of the shared pool breaking —
+    still complete via the isolated retry round."""
+    agg = run_trials(_dies_on_seed_2, seeds=[1, 2, 3], jobs=2)
+    assert agg.trials == 2
+    assert [f.kind for f in agg.failures] == ["crash"]
+    assert agg.failures[0].seed == 2
+
+
+def test_run_sweep_parallel_matches_serial():
+    points = [{"base": base} for base in (1, 2, 3)]
+    serial = run_sweep(_sweep_trial, points, seeds=[1, 2], jobs=1)
+    parallel = run_sweep(_sweep_trial, points, seeds=[1, 2], jobs=3)
+    assert [sp.results for sp in parallel] == [sp.results for sp in serial]
+    assert [sp.point for sp in parallel] == points
+    assert all(sp.ok for sp in parallel)
+
+
+def test_run_sweep_all_seeds_failing_marks_point():
+    sweep = run_sweep(
+        _sweep_raises_everywhere, [{"base": 9}], seeds=[1, 2], jobs=2
+    )
+    assert not sweep[0].ok
+    assert sweep[0].results == ()
+    assert len(sweep[0].failures) == 2
+
+
+def test_run_sweep_labels_failures(tmp_path):
+    sweep = run_sweep(
+        _sweep_raises_everywhere,
+        [{"base": 7}],
+        seeds=[1],
+        jobs=2,
+        label_fn=lambda p: f"base {p['base']}",
+    )
+    assert sweep[0].failures[0].label == "base 7 seed 1"
+
+
+@pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="trace shards need fork",
+)
+def test_parallel_trace_shards(tmp_path):
+    """Workers write per-worker JSONL shards next to the parent file."""
+    path = str(tmp_path / "trace.jsonl")
+    with obs_trace.global_sink(obs_trace.JsonlSink(path)):
+        run_trials(_traced_trial, seeds=[1, 2, 3, 4], jobs=2)
+    shards = sorted(p for p in os.listdir(tmp_path) if p != "trace.jsonl")
+    assert shards  # at least one worker wrote a shard
+    assert all(p.startswith("trace.") and p.endswith(".jsonl") for p in shards)
+    events = []
+    for shard in shards:
+        events += obs_trace.read_jsonl(str(tmp_path / shard))
+    seeds = sorted(e["seed"] for e in events if e["kind"] == "trial.ran")
+    assert seeds == [1, 2, 3, 4]
+
+
+def test_parallel_rejects_unshardable_sink():
+    """Non-file sinks cannot follow trials into workers: clear error."""
+    with obs_trace.global_sink(obs_trace.ListSink()):
+        with pytest.raises(ConfigurationError) as excinfo:
+            run_trials(_ok_trial, seeds=[1, 2], jobs=2)
+    assert "jobs=1" in str(excinfo.value)

@@ -2,10 +2,13 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.experiments.metrics import TrialMetrics
 from repro.experiments.runner import (
     DEFAULT_SEEDS,
+    configured_jobs,
     configured_seeds,
+    configured_trial_timeout,
     render_table,
     run_trials,
     scale_factor,
@@ -32,6 +35,66 @@ def test_scale_factor_env(monkeypatch):
     assert scale_factor() == 0.25
     monkeypatch.delenv("REPRO_SCALE")
     assert scale_factor(0.5) == 0.5
+
+
+@pytest.mark.parametrize("raw", ["banana", "2.5", "0", "-3"])
+def test_configured_seeds_rejects_bad_values(monkeypatch, raw):
+    """Regression: a typo'd REPRO_SEEDS used to crash with a bare
+    ValueError (or, for 0/-3, silently yield an empty campaign whose
+    aggregation then divided by zero)."""
+    monkeypatch.setenv("REPRO_SEEDS", raw)
+    with pytest.raises(ConfigurationError) as excinfo:
+        configured_seeds()
+    assert "REPRO_SEEDS" in str(excinfo.value)
+    assert repr(raw) in str(excinfo.value)
+
+
+@pytest.mark.parametrize("raw", ["fast", "0", "-1"])
+def test_scale_factor_rejects_bad_values(monkeypatch, raw):
+    """Regression: REPRO_SCALE=0 used to produce empty workloads that
+    looked like perfect recall; non-numeric values crashed mid-sweep."""
+    monkeypatch.setenv("REPRO_SCALE", raw)
+    with pytest.raises(ConfigurationError) as excinfo:
+        scale_factor()
+    assert "REPRO_SCALE" in str(excinfo.value)
+    assert repr(raw) in str(excinfo.value)
+
+
+def test_configured_jobs_default_and_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert configured_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert configured_jobs() == 3
+
+
+@pytest.mark.parametrize("raw", ["0", "auto", "AUTO"])
+def test_configured_jobs_auto_means_cpu_count(monkeypatch, raw):
+    monkeypatch.setenv("REPRO_JOBS", raw)
+    import os
+
+    assert configured_jobs() == (os.cpu_count() or 1)
+
+
+@pytest.mark.parametrize("raw", ["-2", "two", "1.5"])
+def test_configured_jobs_rejects_bad_values(monkeypatch, raw):
+    monkeypatch.setenv("REPRO_JOBS", raw)
+    with pytest.raises(ConfigurationError) as excinfo:
+        configured_jobs()
+    assert "REPRO_JOBS" in str(excinfo.value)
+    assert repr(raw) in str(excinfo.value)
+
+
+def test_configured_trial_timeout(monkeypatch):
+    monkeypatch.delenv("REPRO_TRIAL_TIMEOUT", raising=False)
+    assert configured_trial_timeout() is None
+    monkeypatch.setenv("REPRO_TRIAL_TIMEOUT", "2.5")
+    assert configured_trial_timeout() == 2.5
+    monkeypatch.setenv("REPRO_TRIAL_TIMEOUT", "0")
+    with pytest.raises(ConfigurationError):
+        configured_trial_timeout()
+    monkeypatch.setenv("REPRO_TRIAL_TIMEOUT", "soon")
+    with pytest.raises(ConfigurationError):
+        configured_trial_timeout()
 
 
 def test_run_trials_aggregates():

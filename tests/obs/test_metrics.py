@@ -89,3 +89,117 @@ def test_registry_render_mentions_instruments():
     text = registry.render()
     for token in ("counters:", "gauges:", "histograms:", "frames", "queue", "sizes"):
         assert token in text
+
+
+def test_instruments_reset_in_place():
+    counter = Counter("c")
+    counter.inc(5)
+    counter.reset()
+    assert counter.value == 0
+
+    gauge = Gauge("g")
+    gauge.set(3.0)
+    gauge.reset()
+    assert gauge.samples == 0
+    gauge.set(-1.0)
+    assert gauge.max_value == -1.0  # extremes restart from scratch
+
+    hist = Histogram("h", buckets=(1.0, 10.0))
+    hist.observe(5.0)
+    hist.reset()
+    assert hist.count == 0
+    assert hist.total == 0.0
+    assert hist.bucket_counts() == {"le_1": 0, "le_10": 0, "overflow": 0}
+
+
+def test_registry_reset_keeps_cached_references_valid():
+    """Regression: Simulator.reset() used to leave stale counts behind;
+    the fix zeroes instruments in place so holders keep recording."""
+    registry = MetricsRegistry()
+    counter = registry.counter("net.bytes")
+    counter.inc(100)
+    registry.reset()
+    assert counter.value == 0
+    counter.inc(7)  # the pre-reset reference still feeds the registry
+    assert registry.counter("net.bytes").value == 7
+
+
+def test_merge_snapshot_counters_gauges_histograms():
+    a = MetricsRegistry()
+    a.counter("c").inc(3)
+    a.gauge("g").set(1.0)
+    a.gauge("g").set(5.0)
+    a.histogram("h", buckets=(1.0, 10.0)).observe(0.5)
+    a.histogram("h", buckets=(1.0, 10.0)).observe(50.0)
+
+    b = MetricsRegistry()
+    b.counter("c").inc(4)
+    b.gauge("g").set(-2.0)
+    b.histogram("h", buckets=(1.0, 10.0)).observe(5.0)
+
+    b.merge_snapshot(a.snapshot())
+    assert b.counter("c").value == 7
+    assert b.gauge("g").max_value == 5.0
+    assert b.gauge("g").min_value == -2.0
+    assert b.gauge("g").samples == 3
+    hist = b.histogram("h", buckets=(1.0, 10.0))
+    assert hist.count == 3
+    assert hist.bucket_counts() == {"le_1": 1, "le_10": 1, "overflow": 1}
+    assert hist.min == 0.5
+    assert hist.max == 50.0
+
+
+def test_merge_snapshot_empty_into_fresh_registry():
+    target = MetricsRegistry()
+    source = MetricsRegistry()
+    source.counter("c")
+    source.gauge("g")
+    source.histogram("h", buckets=(1.0,))
+    target.merge_snapshot(source.snapshot())
+    # untouched instruments do not pollute extremes or samples
+    assert target.counter("c").value == 0
+    assert target.gauge("g").samples == 0
+    assert target.histogram("h", buckets=(1.0,)).count == 0
+
+
+def test_merge_snapshot_rejects_bucket_mismatch():
+    a = MetricsRegistry()
+    a.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+    b = MetricsRegistry()
+    b.histogram("h", buckets=(1.0, 3.0)).observe(1.5)
+    with pytest.raises(ConfigurationError):
+        b.merge_snapshot(a.snapshot())
+
+
+def test_merge_snapshot_exact_bounds_roundtrip():
+    """Regression: bounds used to be recovered from 'le_<bound:g>' keys,
+    which are rounded to 6 significant digits — 1048576 came back as
+    1048580 and every merge of byte-sized buckets mismatched."""
+    a = MetricsRegistry()
+    a.histogram("h", buckets=(1048576.0, 2097152.0)).observe(1.0)
+    b = MetricsRegistry()
+    b.merge_snapshot(a.snapshot())
+    merged = b.histogram("h", buckets=(1048576.0, 2097152.0))
+    assert merged.count == 1
+
+
+def test_collect_registries_scopes_creation():
+    from repro.obs.metrics import collect_registries
+
+    before = MetricsRegistry()  # outside: not collected
+    with collect_registries() as collected:
+        inside = MetricsRegistry()
+    after = MetricsRegistry()  # after: not collected
+    assert collected == [inside]
+    assert before not in collected and after not in collected
+
+
+def test_collect_registries_nests():
+    from repro.obs.metrics import collect_registries
+
+    with collect_registries() as outer:
+        first = MetricsRegistry()
+        with collect_registries() as inner:
+            second = MetricsRegistry()
+    assert outer == [first, second]  # outer sees everything in its scope
+    assert inner == [second]

@@ -66,3 +66,20 @@ def test_events_per_s_handles_zero_wall():
         label="x", wall_s=0.0, events=10, sim_time_s=1.0, peak_queue_depth=0
     )
     assert record.events_per_s == 0.0
+
+
+def test_extend_folds_foreign_records():
+    """Worker processes return their records by value; the parent folds
+    them into its own profiler with extend()."""
+    worker = RunProfiler()
+    with worker.activate():
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        with worker.label("worker trial"):
+            sim.run()
+    parent = RunProfiler()
+    with parent.activate():
+        pass
+    parent.extend(worker.records)
+    assert [r.label for r in parent.records] == ["worker trial"]
+    assert parent.records[0].events == 1

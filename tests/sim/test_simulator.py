@@ -125,3 +125,20 @@ def test_pending_events_counts_active(sim):
     event = sim.schedule(2.0, lambda: None)
     sim.cancel(event)
     assert sim.pending_events == 1
+
+
+def test_reset_zeroes_metrics_in_place():
+    """Regression: reset() used to rewind the clock and queue but leave
+    every counter/histogram at its previous value, so back-to-back runs
+    on one simulator accumulated stale metrics."""
+    sim = Simulator()
+    counter = sim.metrics.counter("test.events")
+    sim.schedule(0.1, lambda: counter.inc(3))
+    sim.run()
+    assert counter.value == 3
+    sim.reset()
+    assert counter.value == 0
+    # the cached reference keeps feeding the registry after reset
+    sim.schedule(0.1, lambda: counter.inc(2))
+    sim.run()
+    assert sim.metrics.counter("test.events").value == 2
