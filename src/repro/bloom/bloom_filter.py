@@ -106,6 +106,32 @@ class BloomFilter:
         """Serialized size in bytes: bit array + small fixed header."""
         return len(self._bits) + 6  # m(3B), k(1B), seed(2B) in a compact coding
 
+    def trace_fields(self) -> dict:
+        """JSON-safe snapshot (geometry + bit array) for trace events.
+
+        The offline audit rebuilds the filter from these fields to test
+        membership exactly — Bloom filters have no false negatives, so a
+        key found *inside* a query's issued filter that still appears in a
+        response is a certain redundancy violation.
+        """
+        return {
+            "bloom_m": self.m_bits,
+            "bloom_k": self.k_hashes,
+            "bloom_seed": self.seed,
+            "bloom_bits": bytes(self._bits).hex(),
+        }
+
+    @classmethod
+    def from_trace_fields(cls, fields: dict) -> "BloomFilter":
+        """Rebuild a filter from :meth:`trace_fields` output."""
+        bloom = cls(
+            int(fields["bloom_m"]),
+            int(fields["bloom_k"]),
+            int(fields.get("bloom_seed", 0)),
+        )
+        bloom._bits = bytearray.fromhex(str(fields["bloom_bits"]))
+        return bloom
+
     def estimated_false_positive_rate(self) -> float:
         """Analytical FP rate at the current load."""
         return expected_false_positive_rate(self.m_bits, self.k_hashes, self.count)
@@ -146,6 +172,9 @@ class NullFilter:
 
     def wire_size(self) -> int:  # noqa: D102
         return 0
+
+    def trace_fields(self) -> dict:  # noqa: D102
+        return {}
 
 
 #: Either a real Bloom filter or the null object.

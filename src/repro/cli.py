@@ -85,6 +85,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="how many nodes `inspect` lists in its per-node ranking",
     )
+    parser.add_argument(
+        "--spans",
+        action="store_true",
+        help="inspect: reconstruct per-query/per-chunk span trees with "
+        "waterfall timelines",
+    )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="inspect: check protocol invariants; exit 1 on any violation",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="inspect: machine-readable JSON report instead of tables",
+    )
     return parser
 
 
@@ -169,18 +186,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.path:
             print("inspect needs a trace file: repro inspect out.jsonl", file=sys.stderr)
             return 2
-        if not os.path.exists(args.path):
-            print(f"no such trace file: {args.path}", file=sys.stderr)
-            return 2
-        from repro.obs.inspect import inspect_file
+        from repro.obs.inspect import inspect_path
 
         try:
-            print(inspect_file(args.path, top_nodes=args.top_nodes))
-        except ValueError as exc:
-            # json.JSONDecodeError is a ValueError: not a JSONL trace.
-            print(f"not a JSONL trace file: {args.path} ({exc})", file=sys.stderr)
+            # The path may be a single file, a directory of shards, or a
+            # glob (parallel runs write trace.0.jsonl, trace.1.jsonl, ...).
+            code, text = inspect_path(
+                args.path,
+                top_nodes=args.top_nodes,
+                spans=args.spans,
+                audit=args.audit,
+                as_json=args.as_json,
+            )
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
             return 2
-        return 0
+        print(text)
+        return code
 
     try:
         return _run_figures(args)

@@ -148,3 +148,17 @@ def max_load(
             hop = dict((n, h) for n, h in options[chunk_id])[neighbor]
             loads[neighbor] = loads.get(neighbor, 0) + hop
     return max(loads.values()) if loads else 0
+
+
+def greedy_max_load(options: ChunkOptions) -> int:
+    """Max load of the improved pure-greedy baseline (audit reference).
+
+    :func:`assign_chunks` guarantees its result is never worse than this
+    baseline, so any traced assignment exceeding it indicates the balancer
+    chose a strictly dominated (e.g. needlessly far) set of copies.
+    """
+    baseline, baseline_load = _initial_assignment(options, None, load_aware=False)
+    if not baseline:
+        return 0
+    _improve(baseline, baseline_load, options)
+    return max(baseline_load.values())

@@ -89,13 +89,22 @@ class DiscoveryEngine:
         )
         trace = device.sim.trace
         if trace.enabled:
+            # The issued filter's exact bits ride along so the offline
+            # audit can prove responses never carry already-covered keys.
+            bloom_fields = (
+                bloom.trace_fields() if hasattr(bloom, "trace_fields") else {}
+            )
             trace.emit(
                 "query_issued",
                 node=device.node_id,
                 query_id=query.message_id,
+                proto="pdd",
                 round=round_index,
+                consumer=device.node_id,
                 want_payload=want_payload,
                 ttl=ttl,
+                expires_at=expires_at,
+                **bloom_fields,
             )
         device.face.send(
             query, query.wire_size(), receivers=None, kind="query", reliable=True
@@ -142,8 +151,12 @@ class DiscoveryEngine:
                 "query_forwarded",
                 node=device.node_id,
                 query_id=query.message_id,
+                proto="pdd",
+                round=query.round_index,
+                consumer=query.origin_id,
                 hop=forwarded.hop_count,
                 responded=sent_keys,
+                expires_at=query.expires_at,
             )
         device.face.send(
             forwarded,
@@ -173,6 +186,8 @@ class DiscoveryEngine:
                     "bloom_prune",
                     node=device.node_id,
                     query_id=query.message_id,
+                    round=query.round_index,
+                    consumer=query.origin_id,
                     hits=len(candidates) - len(chunks),
                     misses=len(chunks),
                 )
@@ -181,7 +196,7 @@ class DiscoveryEngine:
             for chunk in chunks:
                 bloom.insert(chunk.descriptor.stable_key())
             self._send_payload_responses(
-                chunks, frozenset({query.sender_id}), query.round_index
+                chunks, frozenset({query.sender_id}), query.round_index, query
             )
             return len(chunks)
         candidates = list(device.store.match_metadata(query.spec))
@@ -195,6 +210,8 @@ class DiscoveryEngine:
                 "bloom_prune",
                 node=device.node_id,
                 query_id=query.message_id,
+                round=query.round_index,
+                consumer=query.origin_id,
                 hits=len(candidates) - len(matches),
                 misses=len(matches),
             )
@@ -203,7 +220,7 @@ class DiscoveryEngine:
         for descriptor in matches:
             bloom.insert(descriptor.stable_key())
         self._send_entry_responses(
-            matches, frozenset({query.sender_id}), query.round_index
+            matches, frozenset({query.sender_id}), query.round_index, query
         )
         return len(matches)
 
@@ -215,6 +232,7 @@ class DiscoveryEngine:
         entries: List[DataDescriptor],
         receivers: frozenset,
         round_index: int,
+        query: Optional[DiscoveryQuery] = None,
     ) -> None:
         """Pack descriptors into frames of at most the configured size."""
         device = self.device
@@ -224,19 +242,20 @@ class DiscoveryEngine:
         for descriptor in entries:
             size = descriptor.wire_size()
             if batch and batch_bytes + size > limit:
-                self._emit_response(tuple(batch), (), receivers, round_index)
+                self._emit_response(tuple(batch), (), receivers, round_index, query)
                 batch = []
                 batch_bytes = 0
             batch.append(descriptor)
             batch_bytes += size
         if batch:
-            self._emit_response(tuple(batch), (), receivers, round_index)
+            self._emit_response(tuple(batch), (), receivers, round_index, query)
 
     def _send_payload_responses(
         self,
         chunks: List[Chunk],
         receivers: frozenset,
         round_index: int,
+        query: Optional[DiscoveryQuery] = None,
     ) -> None:
         """Small-data responses: one or more items per frame."""
         device = self.device
@@ -246,13 +265,13 @@ class DiscoveryEngine:
         for chunk in chunks:
             size = chunk.descriptor.wire_size() + chunk.size
             if batch and batch_bytes + size > limit:
-                self._emit_response((), tuple(batch), receivers, round_index)
+                self._emit_response((), tuple(batch), receivers, round_index, query)
                 batch = []
                 batch_bytes = 0
             batch.append(chunk)
             batch_bytes += size
         if batch:
-            self._emit_response((), tuple(batch), receivers, round_index)
+            self._emit_response((), tuple(batch), receivers, round_index, query)
 
     def _emit_response(
         self,
@@ -260,6 +279,7 @@ class DiscoveryEngine:
         payloads: Tuple[Chunk, ...],
         receivers: frozenset,
         round_index: int,
+        query: Optional[DiscoveryQuery] = None,
     ) -> None:
         device = self.device
         response = DiscoveryResponse(
@@ -269,18 +289,26 @@ class DiscoveryEngine:
             entries=entries,
             payloads=payloads,
             round_index=round_index,
+            query_ids=(query.message_id,) if query is not None else (),
         )
         # Own responses are never re-processed when overheard back.
         self.recent.seen_before(response.message_id)
         trace = device.sim.trace
         if trace.enabled:
+            sent_keys = [e.stable_key().hex() for e in entries]
+            sent_keys.extend(c.descriptor.stable_key().hex() for c in payloads)
             trace.emit(
                 "response_sent",
                 node=device.node_id,
                 response_id=response.message_id,
+                proto="pdd",
+                query_id=query.message_id if query is not None else None,
+                consumer=query.origin_id if query is not None else None,
+                round=round_index,
                 entries=len(entries),
                 payloads=len(payloads),
                 size=response.wire_size(),
+                keys=sent_keys,
             )
         device.face.send(
             response,
@@ -314,7 +342,7 @@ class DiscoveryEngine:
             if entry.is_origin:
                 continue  # our own data; the local store already has it
             self._send_entry_responses(
-                [descriptor], frozenset({entry.upstream}), query.round_index
+                [descriptor], frozenset({entry.upstream}), query.round_index, query
             )
 
     def _wanted_by_origin(self, chunk: Chunk) -> bool:
@@ -356,6 +384,7 @@ class DiscoveryEngine:
         union_entries: Dict[DataDescriptor, None] = {}
         union_payloads: Dict[DataDescriptor, Chunk] = {}
         receivers = set()
+        matched_query_ids: List[int] = []
         for entry in self.lqt.live_entries():
             query = entry.query
             if not isinstance(query, DiscoveryQuery):
@@ -382,6 +411,7 @@ class DiscoveryEngine:
                 # cache listeners in the DS-lookup step.
                 continue
             receivers.add(entry.upstream)
+            matched_query_ids.append(query.message_id)
             for d in wanted_entries:
                 union_entries[d] = None
             for c in wanted_payloads:
@@ -393,9 +423,12 @@ class DiscoveryEngine:
             receiver_ids=frozenset(receivers),
             entries=tuple(union_entries),
             payloads=tuple(union_payloads.values()),
+            query_ids=tuple(matched_query_ids),
         )
         trace = device.sim.trace
         if trace.enabled:
+            merged_keys = [d.stable_key().hex() for d in union_entries]
+            merged_keys.extend(d.stable_key().hex() for d in union_payloads)
             trace.emit(
                 "mixedcast_merge",
                 node=device.node_id,
@@ -403,6 +436,8 @@ class DiscoveryEngine:
                 entries=len(union_entries),
                 payloads=len(union_payloads),
                 receivers=len(receivers),
+                query_ids=matched_query_ids,
+                keys=merged_keys,
             )
         device.face.send(
             forwarded,

@@ -67,6 +67,8 @@ class LingeringQueryTable:
                 query_id=query_id,
                 origin=entry.is_origin,
                 expires_at=entry.expires_at,
+                consumer=getattr(entry.query, "origin_id", None),
+                round=getattr(entry.query, "round_index", None),
             )
 
     def __len__(self) -> int:

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, FrozenSet, Optional, Set
 
 from repro.core.lqt import LingeringEntry, LingeringQueryTable, RecentResponses
 from repro.core.messages import ChunkResponse, MdrQuery, next_message_id
+from repro.core.retrieval import _item_key
 from repro.data.descriptor import DataDescriptor
 from repro.net.topology import NodeId
 
@@ -74,6 +75,20 @@ class MdrEngine:
             ),
             query.message_id,
         )
+        trace = device.sim.trace
+        if trace.enabled:
+            trace.emit(
+                "query_issued",
+                node=device.node_id,
+                query_id=query.message_id,
+                proto="mdr",
+                round=round_index,
+                consumer=device.node_id,
+                item=_item_key(item),
+                missing=total_chunks - len(have_chunk_ids),
+                ttl=ttl,
+                expires_at=expires_at,
+            )
         device.face.send(
             query, query.wire_size(), receivers=None, kind="mdr_query", reliable=True
         )
@@ -119,6 +134,19 @@ class MdrEngine:
             receiver_ids=None,
             have_chunk_ids=query.have_chunk_ids | frozenset(held),
         )
+        trace = device.sim.trace
+        if trace.enabled:
+            trace.emit(
+                "query_forwarded",
+                node=device.node_id,
+                query_id=query.message_id,
+                proto="mdr",
+                round=query.round_index,
+                consumer=query.origin_id,
+                hop=forwarded.hop_count,
+                responded=len(held),
+                expires_at=query.expires_at,
+            )
         device.face.send(
             forwarded,
             forwarded.wire_size(),
@@ -138,6 +166,19 @@ class MdrEngine:
         if chunk is None:
             return
         entry.forwarded_keys.add(chunk_id)
+        trace = device.sim.trace
+        if trace.enabled:
+            trace.emit(
+                "chunk_served",
+                node=device.node_id,
+                item=_item_key(query.item),
+                query_id=query_id,
+                proto="mdr",
+                consumer=query.origin_id,
+                chunk_id=chunk_id,
+                served=1,
+                requested=query.total_chunks - len(query.have_chunk_ids),
+            )
         self._emit_chunk(chunk, frozenset({entry.upstream}), query_id=query_id)
 
     def _emit_chunk(

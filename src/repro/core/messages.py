@@ -18,6 +18,7 @@ from repro.bloom.bloom_filter import BloomFilter, NullFilter
 from repro.data.descriptor import DataDescriptor
 from repro.data.item import Chunk
 from repro.data.predicate import QuerySpec
+from repro.net.message import Correlation
 from repro.net.topology import NodeId
 
 #: Fixed per-message header: message id (8) + type (1) + sender (4) +
@@ -83,6 +84,15 @@ class DiscoveryQuery(PdsMessage):
         bloom_size = self.bloom.wire_size() if hasattr(self.bloom, "wire_size") else 0
         return self.base_size() + self.spec.wire_size() + bloom_size + 3
 
+    def correlation(self) -> Correlation:
+        """Causal ids the link layer stamps on this message's frames."""
+        return Correlation(
+            query_id=self.message_id,
+            round=self.round_index,
+            consumer=self.origin_id,
+            hop=self.hop_count,
+        )
+
     def rewritten(
         self,
         sender_id: NodeId,
@@ -106,11 +116,17 @@ class DiscoveryResponse(PdsMessage):
     ``entries`` carries descriptors for metadata discovery; ``payloads``
     carries small data items (as single chunks) when responding to a
     ``want_payload`` query.
+
+    ``query_ids`` names the lingering queries this copy answers — a pure
+    correlation field (excluded from ``wire_size`` so the overhead model
+    matches the paper's message formats, like the elided chunk payload
+    bytes in :mod:`repro.core.wire`).
     """
 
     entries: Tuple[DataDescriptor, ...] = ()
     payloads: Tuple[Chunk, ...] = ()
     round_index: int = 0
+    query_ids: Tuple[int, ...] = ()
 
     def wire_size(self) -> int:
         entries_size = sum(e.wire_size() for e in self.entries)
@@ -119,12 +135,21 @@ class DiscoveryResponse(PdsMessage):
         )
         return self.base_size() + entries_size + payload_size
 
+    def correlation(self) -> Correlation:
+        """Causal ids the link layer stamps on this message's frames."""
+        return Correlation(
+            response_id=self.message_id,
+            round=self.round_index,
+            query_id=self.query_ids[0] if len(self.query_ids) == 1 else None,
+        )
+
     def rewritten(
         self,
         sender_id: NodeId,
         receiver_ids: FrozenSet[NodeId],
         entries: Tuple[DataDescriptor, ...],
         payloads: Tuple[Chunk, ...] = (),
+        query_ids: Optional[Tuple[int, ...]] = None,
     ) -> "DiscoveryResponse":
         """Per-hop rewritten copy with a pruned payload (mixedcast).
 
@@ -137,6 +162,7 @@ class DiscoveryResponse(PdsMessage):
             receiver_ids=receiver_ids,
             entries=entries,
             payloads=payloads,
+            query_ids=self.query_ids if query_ids is None else query_ids,
         )
 
 
@@ -155,6 +181,14 @@ class CdiQuery(PdsMessage):
     def wire_size(self) -> int:
         return self.base_size() + self.item.wire_size() + 1
 
+    def correlation(self) -> Correlation:
+        """Causal ids the link layer stamps on this message's frames."""
+        return Correlation(
+            query_id=self.message_id,
+            consumer=self.origin_id,
+            hop=self.hop_count,
+        )
+
     def rewritten(
         self,
         sender_id: NodeId,
@@ -170,19 +204,32 @@ class CdiQuery(PdsMessage):
 
 @dataclass(frozen=True)
 class CdiResponse(PdsMessage):
-    """ChunkId–HopCount pairs relative to the transmitting node (§IV-A)."""
+    """ChunkId–HopCount pairs relative to the transmitting node (§IV-A).
+
+    ``query_ids`` names the lingering CDI queries this copy answers
+    (correlation only; excluded from ``wire_size``).
+    """
 
     item: DataDescriptor = None  # type: ignore[assignment]
     pairs: Tuple[Tuple[int, int], ...] = ()  # (chunk_id, hop_count)
+    query_ids: Tuple[int, ...] = ()
 
     def wire_size(self) -> int:
         return self.base_size() + self.item.wire_size() + 4 * len(self.pairs)
+
+    def correlation(self) -> Correlation:
+        """Causal ids the link layer stamps on this message's frames."""
+        return Correlation(
+            response_id=self.message_id,
+            query_id=self.query_ids[0] if len(self.query_ids) == 1 else None,
+        )
 
     def rewritten(
         self,
         sender_id: NodeId,
         receiver_ids: FrozenSet[NodeId],
         pairs: Tuple[Tuple[int, int], ...],
+        query_ids: Optional[Tuple[int, ...]] = None,
     ) -> "CdiResponse":
         """Per-hop rewrite; the response id is preserved for RR dedup."""
         return replace(
@@ -190,6 +237,7 @@ class CdiResponse(PdsMessage):
             sender_id=sender_id,
             receiver_ids=receiver_ids,
             pairs=pairs,
+            query_ids=self.query_ids if query_ids is None else query_ids,
         )
 
 
@@ -198,15 +246,32 @@ class CdiResponse(PdsMessage):
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ChunkQuery(PdsMessage):
-    """Requests a subset of chunks, directed at one nearest neighbor."""
+    """Requests a subset of chunks, directed at one nearest neighbor.
+
+    ``root_id`` is the message id of the consumer's original query and
+    ``parent_id`` the immediate parent in the recursive division tree of
+    §IV-B (0 at the root); both are correlation-only fields that let the
+    offline span reconstructor rebuild the per-chunk retrieval tree.
+    """
 
     item: DataDescriptor = None  # type: ignore[assignment]
     chunk_ids: FrozenSet[int] = frozenset()
     origin_id: NodeId = -1
     expires_at: float = float("inf")
+    root_id: int = 0
+    parent_id: int = 0
+    hop_count: int = 0
 
     def wire_size(self) -> int:
         return self.base_size() + self.item.wire_size() + 2 * len(self.chunk_ids)
+
+    def correlation(self) -> Correlation:
+        """Causal ids the link layer stamps on this message's frames."""
+        return Correlation(
+            query_id=self.message_id,
+            consumer=self.origin_id,
+            hop=self.hop_count,
+        )
 
     def divided(
         self,
@@ -221,6 +286,9 @@ class ChunkQuery(PdsMessage):
             sender_id=sender_id,
             receiver_ids=frozenset({receiver}),
             chunk_ids=chunk_ids,
+            root_id=self.root_id if self.root_id else self.message_id,
+            parent_id=self.message_id,
+            hop_count=self.hop_count + 1,
         )
 
 
@@ -232,6 +300,13 @@ class ChunkResponse(PdsMessage):
 
     def wire_size(self) -> int:
         return self.base_size() + self.chunk.descriptor.wire_size() + self.chunk.size
+
+    def correlation(self) -> Correlation:
+        """Causal ids the link layer stamps on this message's frames."""
+        return Correlation(
+            response_id=self.message_id,
+            chunk_id=self.chunk.chunk_id if self.chunk is not None else None,
+        )
 
     def rewritten(
         self, sender_id: NodeId, receiver_ids: FrozenSet[NodeId]
@@ -262,6 +337,15 @@ class MdrQuery(PdsMessage):
     def wire_size(self) -> int:
         bitmap = (self.total_chunks + 7) // 8
         return self.base_size() + self.item.wire_size() + bitmap + 3
+
+    def correlation(self) -> Correlation:
+        """Causal ids the link layer stamps on this message's frames."""
+        return Correlation(
+            query_id=self.message_id,
+            round=self.round_index,
+            consumer=self.origin_id,
+            hop=self.hop_count,
+        )
 
     def rewritten(
         self,

@@ -85,8 +85,10 @@ class CdiEngine:
                 node=device.node_id,
                 query_id=query.message_id,
                 proto="cdi",
+                consumer=device.node_id,
                 item=_item_key(item),
                 ttl=ttl,
+                expires_at=expires_at,
             )
         device.face.send(
             query, query.wire_size(), receivers=None, kind="cdi_query", reliable=True
@@ -107,7 +109,9 @@ class CdiEngine:
 
         pairs = self._local_pairs(query.item)
         if pairs:
-            self._emit_response(query.item, pairs, frozenset({query.sender_id}))
+            self._emit_response(
+                query.item, pairs, frozenset({query.sender_id}), query=query
+            )
             for chunk_id, hop in pairs:
                 entry.best_hop_sent[chunk_id] = hop
 
@@ -123,7 +127,9 @@ class CdiEngine:
                 node=device.node_id,
                 query_id=query.message_id,
                 proto="cdi",
+                consumer=query.origin_id,
                 hop=forwarded.hop_count,
+                expires_at=query.expires_at,
             )
         device.face.send(
             forwarded,
@@ -155,6 +161,7 @@ class CdiEngine:
         item: DataDescriptor,
         pairs: List[Tuple[int, int]],
         receivers: FrozenSet[NodeId],
+        query: Optional[CdiQuery] = None,
     ) -> None:
         device = self.device
         response = CdiResponse(
@@ -163,8 +170,22 @@ class CdiEngine:
             receiver_ids=receivers,
             item=item,
             pairs=tuple(pairs),
+            query_ids=(query.message_id,) if query is not None else (),
         )
         self.recent.seen_before(response.message_id)
+        trace = device.sim.trace
+        if trace.enabled:
+            trace.emit(
+                "response_sent",
+                node=device.node_id,
+                response_id=response.message_id,
+                proto="cdi",
+                query_id=query.message_id if query is not None else None,
+                consumer=query.origin_id if query is not None else None,
+                item=_item_key(item),
+                pairs=len(pairs),
+                size=response.wire_size(),
+            )
         device.face.send(
             response,
             response.wire_size(),
@@ -203,6 +224,7 @@ class CdiEngine:
         # LQT lookup: route improved pairs toward lingering CDI queries.
         out_pairs: Dict[int, int] = {}
         receivers: Set[NodeId] = set()
+        matched_query_ids: List[int] = []
         for entry in self.lqt.live_entries():
             query = entry.query
             if not isinstance(query, CdiQuery) or query.item != response.item:
@@ -221,6 +243,7 @@ class CdiEngine:
             if not entry_pairs:
                 continue
             receivers.add(entry.upstream)
+            matched_query_ids.append(query.message_id)
             for chunk_id, hop in entry_pairs:
                 existing = out_pairs.get(chunk_id)
                 out_pairs[chunk_id] = hop if existing is None else min(existing, hop)
@@ -230,6 +253,7 @@ class CdiEngine:
             sender_id=device.node_id,
             receiver_ids=frozenset(receivers),
             pairs=tuple(sorted(out_pairs.items())),
+            query_ids=tuple(matched_query_ids),
         )
         device.face.send(
             forwarded,
@@ -262,20 +286,33 @@ class ChunkEngine:
         self,
         item: DataDescriptor,
         assignment: Dict[NodeId, Set[int]],
+        options: Dict[int, List[Tuple[NodeId, int]]],
         requested: int,
         divided: bool,
+        query_id: Optional[int] = None,
     ) -> None:
         trace = self.device.sim.trace
         if trace.enabled and assignment:
+            # Candidate (neighbor, hop) options and the chosen split ride
+            # along so the offline audit can recompute the greedy least-hop
+            # baseline and prove the chosen load never exceeds it.
             trace.emit(
                 "chunk_assignment",
                 node=self.device.node_id,
                 item=_item_key(item),
+                query_id=query_id,
                 requested=requested,
                 assigned=sum(len(ids) for ids in assignment.values()),
                 neighbors=len(assignment),
                 max_per_neighbor=max(len(ids) for ids in assignment.values()),
                 divided=divided,
+                options={
+                    str(cid): [[n, h] for n, h in pairs]
+                    for cid, pairs in sorted(options.items())
+                },
+                assignment={
+                    str(n): sorted(ids) for n, ids in sorted(assignment.items())
+                },
             )
 
     # ------------------------------------------------------------------
@@ -299,17 +336,22 @@ class ChunkEngine:
             ttl = device.config.protocol.query_ttl_s
         options = self._options(item, chunk_ids, exclude=None)
         assignment = assign_chunks(options, device.rng)
-        self._emit_assignment(item, assignment, len(chunk_ids), divided=False)
+        self._emit_assignment(
+            item, assignment, options, len(chunk_ids), divided=False
+        )
         expires_at = device.sim.now + ttl
+        trace = device.sim.trace
         for neighbor, ids in assignment.items():
+            message_id = next_message_id()
             query = ChunkQuery(
-                message_id=next_message_id(),
+                message_id=message_id,
                 sender_id=device.node_id,
                 receiver_ids=frozenset({neighbor}),
                 item=item,
                 chunk_ids=frozenset(ids),
                 origin_id=device.node_id,
                 expires_at=expires_at,
+                root_id=message_id,
             )
             self.lqt.insert(
                 LingeringEntry(
@@ -320,6 +362,19 @@ class ChunkEngine:
                 ),
                 query.message_id,
             )
+            if trace.enabled:
+                trace.emit(
+                    "chunk_request",
+                    node=device.node_id,
+                    query_id=query.message_id,
+                    root=query.root_id,
+                    parent=None,
+                    consumer=device.node_id,
+                    neighbor=neighbor,
+                    item=_item_key(item),
+                    chunks=sorted(ids),
+                    expires_at=expires_at,
+                )
             device.face.send(
                 query,
                 query.wire_size(),
@@ -386,6 +441,9 @@ class ChunkEngine:
                 node=device.node_id,
                 item=_item_key(query.item),
                 query_id=query.message_id,
+                root=query.root_id or query.message_id,
+                parent=query.parent_id or None,
+                consumer=query.origin_id,
                 served=served,
                 requested=len(query.chunk_ids),
             )
@@ -396,13 +454,33 @@ class ChunkEngine:
         # never back toward the upstream.
         options = self._options(query.item, remaining, exclude=query.sender_id)
         assignment = assign_chunks(options, device.rng)
-        self._emit_assignment(query.item, assignment, len(remaining), divided=True)
+        self._emit_assignment(
+            query.item,
+            assignment,
+            options,
+            len(remaining),
+            divided=True,
+            query_id=query.message_id,
+        )
         for neighbor, ids in assignment.items():
             sub_query = query.divided(
                 sender_id=device.node_id,
                 receiver=neighbor,
                 chunk_ids=frozenset(ids),
             )
+            if trace.enabled:
+                trace.emit(
+                    "chunk_request",
+                    node=device.node_id,
+                    query_id=sub_query.message_id,
+                    root=sub_query.root_id,
+                    parent=query.message_id,
+                    consumer=query.origin_id,
+                    neighbor=neighbor,
+                    item=_item_key(query.item),
+                    chunks=sorted(ids),
+                    expires_at=sub_query.expires_at,
+                )
             device.face.send(
                 sub_query,
                 sub_query.wire_size(),
@@ -443,6 +521,16 @@ class ChunkEngine:
                 device.cache_chunk(response.chunk, pin=for_me)
         elif protocol.cache_overheard_chunks:
             device.cache_chunk(response.chunk)
+        if for_me and addressed:
+            trace = device.sim.trace
+            if trace.enabled:
+                trace.emit(
+                    "chunk_received",
+                    node=device.node_id,
+                    response_id=response.message_id,
+                    item=_item_key(response.chunk.item_descriptor),
+                    chunk_id=response.chunk.chunk_id,
+                )
         if not addressed:
             return
         chunk = response.chunk

@@ -91,7 +91,12 @@ class RoundController:
             self._task.start(self.config.check_interval_s)
         trace = self.sim.trace
         if trace.enabled:
-            trace.emit("round_begin", node=self.node, round=self.round_index)
+            trace.emit(
+                "round_begin",
+                node=self.node,
+                round=self.round_index,
+                window=self.config.window_s,
+            )
         return self.round_index
 
     def record_response(self) -> None:
@@ -140,5 +145,6 @@ class RoundController:
                     round=self.round_index,
                     responses=total,
                     duration=duration,
+                    window=self.config.window_s,
                 )
             self.on_round_end()

@@ -134,6 +134,9 @@ def encode_message(
         parts.append(encode_varint(len(message.payloads)))
         for chunk in message.payloads:
             parts.append(_encode_chunk(chunk, dictionary))
+        parts.append(encode_varint(len(message.query_ids)))
+        for query_id in message.query_ids:
+            parts.append(encode_varint(query_id))
         return b"".join(parts)
     if isinstance(message, CdiQuery):
         return b"".join(
@@ -160,6 +163,9 @@ def encode_message(
         for chunk_id, hop_count in message.pairs:
             parts.append(encode_varint(chunk_id))
             parts.append(encode_varint(hop_count))
+        parts.append(encode_varint(len(message.query_ids)))
+        for query_id in message.query_ids:
+            parts.append(encode_varint(query_id))
         return b"".join(parts)
     if isinstance(message, ChunkQuery):
         parts = [
@@ -174,6 +180,9 @@ def encode_message(
         ]
         for chunk_id in sorted(message.chunk_ids):
             parts.append(encode_varint(chunk_id))
+        parts.append(encode_varint(message.root_id))
+        parts.append(encode_varint(message.parent_id))
+        parts.append(encode_varint(message.hop_count))
         return b"".join(parts)
     if isinstance(message, ChunkResponse):
         return b"".join(
@@ -253,6 +262,11 @@ def decode_message(
         for _ in range(n_payloads):
             chunk, offset = _decode_chunk(data, offset, dictionary)
             payloads.append(chunk)
+        n_query_ids, offset = decode_varint(data, offset)
+        query_ids = []
+        for _ in range(n_query_ids):
+            query_id, offset = decode_varint(data, offset)
+            query_ids.append(query_id)
         return DiscoveryResponse(
             message_id=message_id,
             sender_id=sender_id,
@@ -260,6 +274,7 @@ def decode_message(
             entries=tuple(entries),
             payloads=tuple(payloads),
             round_index=round_index,
+            query_ids=tuple(query_ids),
         )
     if tag == _TAG_CDI_QUERY:
         origin_id, offset = decode_zigzag(data, offset)
@@ -283,12 +298,18 @@ def decode_message(
             chunk_id, offset = decode_varint(data, offset)
             hop_count, offset = decode_varint(data, offset)
             pairs.append((chunk_id, hop_count))
+        n_query_ids, offset = decode_varint(data, offset)
+        query_ids = []
+        for _ in range(n_query_ids):
+            query_id, offset = decode_varint(data, offset)
+            query_ids.append(query_id)
         return CdiResponse(
             message_id=message_id,
             sender_id=sender_id,
             receiver_ids=receivers,
             item=item,
             pairs=tuple(pairs),
+            query_ids=tuple(query_ids),
         )
     if tag == _TAG_CHUNK_QUERY:
         origin_id, offset = decode_zigzag(data, offset)
@@ -299,6 +320,9 @@ def decode_message(
         for _ in range(n_ids):
             chunk_id, offset = decode_varint(data, offset)
             chunk_ids.add(chunk_id)
+        root_id, offset = decode_varint(data, offset)
+        parent_id, offset = decode_varint(data, offset)
+        hop_count, offset = decode_varint(data, offset)
         return ChunkQuery(
             message_id=message_id,
             sender_id=sender_id,
@@ -307,6 +331,9 @@ def decode_message(
             chunk_ids=frozenset(chunk_ids),
             origin_id=origin_id,
             expires_at=expires_at,
+            root_id=root_id,
+            parent_id=parent_id,
+            hop_count=hop_count,
         )
     if tag == _TAG_CHUNK_RESPONSE:
         chunk, offset = _decode_chunk(data, offset, dictionary)

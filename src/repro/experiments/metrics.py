@@ -70,6 +70,11 @@ class AggregateMetrics:
     rounds_mean: float
     trials: int
     failures: Tuple[TrialFailure, ...] = ()
+    #: Audit violation counts by invariant, summed over trials that put
+    #: an ``extras["audit"]`` dict on their metrics (traced trials only).
+    audit: Tuple[Tuple[str, int], ...] = ()
+    #: How many trials carried an audit summary at all.
+    audited_trials: int = 0
 
     @classmethod
     def from_trials(
@@ -95,6 +100,14 @@ class AggregateMetrics:
         latencies = [t.latency_s for t in trials]
         overheads = [t.overhead_mb for t in trials]
         rounds = [t.rounds for t in trials]
+        audit: Dict[str, int] = {}
+        audited = 0
+        for trial_metrics in trials:
+            if "audit" not in trial_metrics.extras:
+                continue
+            audited += 1
+            for invariant, count in trial_metrics.extras["audit"].items():
+                audit[invariant] = audit.get(invariant, 0) + int(count)
         return cls(
             recall_mean=_mean(recalls),
             recall_std=_std(recalls),
@@ -105,11 +118,19 @@ class AggregateMetrics:
             rounds_mean=_mean(rounds),
             trials=len(trials),
             failures=tuple(failures),
+            audit=tuple(sorted(audit.items())),
+            audited_trials=audited,
         )
 
     def as_row(self) -> Dict[str, float]:
-        """Flat dict for table rendering (mean ± std, as the paper plots)."""
-        return {
+        """Flat dict for table rendering (mean ± std, as the paper plots).
+
+        Trials that ran a trace audit (``extras["audit"]``) contribute a
+        total ``violations`` column plus one ``audit_<invariant>`` column
+        per invariant that actually fired, so a protocol regression shows
+        up in the experiment tables, not just the inspect CLI.
+        """
+        row: Dict[str, float] = {
             "recall": round(self.recall_mean, 3),
             "recall_std": round(self.recall_std, 3),
             "latency_s": round(self.latency_mean, 2),
@@ -118,6 +139,12 @@ class AggregateMetrics:
             "overhead_mb_std": round(self.overhead_mb_std, 2),
             "rounds": round(self.rounds_mean, 1),
         }
+        if self.audited_trials:
+            row["violations"] = sum(count for _, count in self.audit)
+            for invariant, count in self.audit:
+                if count:
+                    row[f"audit_{invariant}"] = count
+        return row
 
 
 def _mean(values: List[float]) -> float:

@@ -62,6 +62,7 @@ from typing import (
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments.metrics import AggregateMetrics, TrialFailure, TrialMetrics
 from repro.obs import trace as obs_trace
+from repro.obs.audit import audit_extras
 from repro.obs.metrics import MetricsRegistry, _clear_collectors, collect_registries
 from repro.obs.profile import RunProfiler, _clear_active, active_profiler
 
@@ -216,6 +217,31 @@ def _worker_init(shard_bases: Sequence[str], shard_counter: Any) -> None:
             multiprocessing.util.Finalize(sink, sink.close, exitpriority=10)
 
 
+def _audited_call(trial: Callable[..., Any], args: Tuple[Any, ...]) -> Any:
+    """Run one trial; in traced campaigns, audit its events on the fly.
+
+    When a process-wide trace sink is active (CLI ``--trace``), the
+    trial's events are also captured in memory and run through the
+    :mod:`repro.obs.audit` invariants; the per-invariant violation counts
+    land in ``TrialMetrics.extras["audit"]`` so they surface as
+    ``violations`` / ``audit_<invariant>`` columns in the figure tables.
+    Untraced campaigns skip all of this (no capture, no audit).
+    """
+    if not obs_trace.global_sinks():
+        return trial(*args)
+    capture = obs_trace.ListSink()
+    obs_trace.install_global_sink(capture)
+    try:
+        result = trial(*args)
+    finally:
+        obs_trace.remove_global_sink(capture)
+    if isinstance(result, TrialMetrics):
+        result.extras["audit"] = audit_extras(
+            [event.to_json_dict() for event in capture.events]
+        )
+    return result
+
+
 @contextmanager
 def _trial_deadline(timeout_s: Optional[float], label: str) -> Iterator[None]:
     """Raise :class:`TrialTimeout` if the block runs longer than allowed.
@@ -257,7 +283,7 @@ def _run_task_in_worker(
     with collect_registries() as registries:
         with profiler.activate(), profiler.label(label):
             with _trial_deadline(timeout_s, label):
-                value = trial(*args)
+                value = _audited_call(trial, args)
     merged = MetricsRegistry()
     for registry in registries:
         merged.merge_snapshot(registry.snapshot())
@@ -427,9 +453,9 @@ def run_trials(
         for seed in seeds:
             if profiler is not None:
                 with profiler.label(f"seed {seed}"):
-                    results.append(trial(seed))
+                    results.append(_audited_call(trial, (seed,)))
             else:
-                results.append(trial(seed))
+                results.append(_audited_call(trial, (seed,)))
         return AggregateMetrics.from_trials(results)
 
     tasks = [
@@ -514,9 +540,9 @@ def run_sweep(
             for seed in seeds:
                 if profiler is not None:
                     with profiler.label(f"{labels[index]} seed {seed}"):
-                        results.append(trial(point, seed))
+                        results.append(_audited_call(trial, (point, seed)))
                 else:
-                    results.append(trial(point, seed))
+                    results.append(_audited_call(trial, (point, seed)))
             sweep.append(
                 SweepPoint(
                     point=point,

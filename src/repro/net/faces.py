@@ -93,6 +93,10 @@ class BroadcastFace:
                 explicit receiver set, or from all current neighbors when
                 flooding.
         """
+        # Duck-typed correlation: protocol messages expose `correlation()`
+        # with the causal ids to stamp on link-level trace events; the net
+        # layer stays ignorant of concrete message types.
+        correlate = getattr(payload, "correlation", None)
         frame = Frame(
             sender=self.node_id,
             payload=payload,
@@ -100,6 +104,7 @@ class BroadcastFace:
             receivers=receivers,
             kind=kind,
             enqueued_at=self.sim.now,
+            corr=correlate() if callable(correlate) else None,
         )
         if reliable:
             ack_from = receivers if receivers is not None else frozenset(self.neighbors())

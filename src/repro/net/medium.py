@@ -30,7 +30,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.net.message import Frame
+from repro.net.message import Frame, frame_corr_fields
 from repro.net.stats import NetworkStats
 from repro.net.topology import NodeId, Topology
 from repro.sim.simulator import Simulator
@@ -182,6 +182,7 @@ class BroadcastMedium:
                 size=frame.size,
                 retx=frame.retransmission,
                 airtime=duration,
+                **frame_corr_fields(frame),
             )
 
         # Half duplex: starting to transmit ruins our own in-progress
@@ -240,6 +241,7 @@ class BroadcastMedium:
                     frame_id=tx.frame.frame_id,
                     sender=tx.sender,
                     reason="busy_receiver",
+                    **frame_corr_fields(tx.frame),
                 )
             return
         if reception.ruined_by_collision:
@@ -251,6 +253,7 @@ class BroadcastMedium:
                     frame_id=tx.frame.frame_id,
                     sender=tx.sender,
                     reason="collision",
+                    **frame_corr_fields(tx.frame),
                 )
             return
         if self.base_loss > 0 and self.rng.random() < self.base_loss:
@@ -262,6 +265,7 @@ class BroadcastMedium:
                     frame_id=tx.frame.frame_id,
                     sender=tx.sender,
                     reason="random",
+                    **frame_corr_fields(tx.frame),
                 )
             return
         self.stats.record_delivery(receiver, tx.frame.size)
@@ -279,5 +283,6 @@ class BroadcastMedium:
                 sender=tx.sender,
                 frame_kind=tx.frame.kind,
                 size=tx.frame.size,
+                **frame_corr_fields(tx.frame),
             )
         deliver(tx.frame)

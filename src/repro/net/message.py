@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional
+from typing import Dict, FrozenSet, Optional
 
 from repro.net.topology import NodeId
 
@@ -22,6 +22,50 @@ FRAME_HEADER_BYTES = 36
 ACK_PAYLOAD_BYTES = 12
 
 _frame_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Correlation:
+    """Causal correlation ids carried from a payload down to the link layer.
+
+    Frames stamp these onto every link-level trace event (``frame_sent``,
+    ``frame_delivered``, ``frame_lost``, ``frame_dropped``, ``retransmit``,
+    ``abandon``) so an offline span reconstructor can attribute channel
+    activity to the query/response/chunk that caused it.  Payload objects
+    opt in by exposing a ``correlation()`` method; the face copies the
+    result onto the frame at send time (the link layer itself stays
+    protocol-agnostic).
+    """
+
+    query_id: Optional[int] = None
+    response_id: Optional[int] = None
+    round: Optional[int] = None
+    chunk_id: Optional[int] = None
+    consumer: Optional[NodeId] = None
+    hop: Optional[int] = None
+
+    def trace_fields(self) -> Dict[str, object]:
+        """The non-empty fields, ready to merge into a trace event."""
+        fields: Dict[str, object] = {}
+        if self.query_id is not None:
+            fields["query_id"] = self.query_id
+        if self.response_id is not None:
+            fields["response_id"] = self.response_id
+        if self.round is not None:
+            fields["round"] = self.round
+        if self.chunk_id is not None:
+            fields["chunk_id"] = self.chunk_id
+        if self.consumer is not None:
+            fields["consumer"] = self.consumer
+        if self.hop is not None:
+            fields["hop"] = self.hop
+        return fields
+
+
+def frame_corr_fields(frame: "Frame") -> Dict[str, object]:
+    """Correlation fields of a frame, or an empty dict when unstamped."""
+    corr = frame.corr
+    return corr.trace_fields() if corr is not None else {}
 
 
 @dataclass
@@ -41,6 +85,8 @@ class Frame:
         enqueued_at: Virtual time this copy entered the send path (stamped
             by the face / reliability layer; feeds the per-hop latency
             histogram).
+        corr: Causal correlation ids derived from the payload (stamped by
+            the sending face); shared across retransmissions.
     """
 
     sender: NodeId
@@ -52,6 +98,7 @@ class Frame:
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
     retransmission: int = 0
     enqueued_at: Optional[float] = None
+    corr: Optional[Correlation] = None
 
     @property
     def size(self) -> int:
@@ -73,6 +120,7 @@ class Frame:
             kind=self.kind,
             frame_id=self.frame_id,
             retransmission=self.retransmission + 1,
+            corr=self.corr,
         )
 
 

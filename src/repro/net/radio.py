@@ -17,7 +17,7 @@ from collections import deque
 
 from repro.errors import ConfigurationError
 from repro.net.medium import BroadcastMedium
-from repro.net.message import Frame
+from repro.net.message import Frame, frame_corr_fields
 from repro.net.topology import NodeId
 from repro.sim.simulator import Simulator
 
@@ -113,6 +113,7 @@ class Radio:
                     frame_kind=frame.kind,
                     size=frame.size,
                     reason="os_buffer",
+                    **frame_corr_fields(frame),
                 )
             return False
         if priority:

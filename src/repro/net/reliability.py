@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Optional, Set
 
 from repro.errors import ConfigurationError
-from repro.net.message import AckMessage, Frame, make_ack_frame
+from repro.net.message import AckMessage, Frame, frame_corr_fields, make_ack_frame
 from repro.net.topology import NodeId
 from repro.sim.event import Event
 from repro.sim.simulator import Simulator
@@ -182,6 +182,7 @@ class ReliabilitySender:
                     frame_id=frame_id,
                     frame_kind=pending.frame.kind,
                     unacked=len(pending.waiting),
+                    **frame_corr_fields(pending.frame),
                 )
             return
         pending.retries_left -= 1
@@ -198,6 +199,7 @@ class ReliabilitySender:
                 frame_kind=retry.kind,
                 retx=retry.retransmission,
                 waiting=len(pending.waiting),
+                **frame_corr_fields(retry),
             )
         self.submit(retry)
         # Arm a *fallback* deadline now so a retry stuck in deep queues

@@ -12,11 +12,23 @@ Three complementary views into a running simulation, all designed to cost
   profiles of whole experiment runs, surfaced by the runner and the CLI.
 
 :mod:`repro.obs.inspect` turns a trace file back into per-node and
-per-message-kind summaries (``python -m repro inspect out.jsonl``).
+per-message-kind summaries (``python -m repro inspect out.jsonl``);
+:mod:`repro.obs.spans` reconstructs per-query/per-chunk span trees from
+the correlation ids stamped on every event; :mod:`repro.obs.audit`
+checks causal protocol invariants over those traces.
 """
 
+from repro.obs.audit import AuditReport, Violation, audit_events, audit_extras
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profile import RunProfiler, RunRecord, active_profiler
+from repro.obs.spans import (
+    QuerySpan,
+    SpanForest,
+    TraceLoad,
+    build_spans,
+    load_trace,
+    resolve_trace_paths,
+)
 from repro.obs.trace import (
     JsonlSink,
     ListSink,
@@ -31,6 +43,16 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AuditReport",
+    "QuerySpan",
+    "SpanForest",
+    "TraceLoad",
+    "Violation",
+    "audit_events",
+    "audit_extras",
+    "build_spans",
+    "load_trace",
+    "resolve_trace_paths",
     "Counter",
     "Gauge",
     "Histogram",

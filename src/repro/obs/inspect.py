@@ -4,14 +4,22 @@ Reads the JSONL event stream written by :class:`repro.obs.trace.JsonlSink`
 and prints what the protocol actually did: events per kind, the busiest
 nodes, on-air frame/byte accounting per message kind (which reconstructs
 the paper's message-overhead metric), and loss/retransmission tallies.
+
+The path may also be a directory or a glob — parallel campaigns shard the
+trace into per-worker files (``trace.0.jsonl``, ...) which are merged by
+timestamp.  ``--spans`` reconstructs per-query span trees
+(:mod:`repro.obs.spans`); ``--audit`` checks the causal invariants of
+:mod:`repro.obs.audit` and fails the process when any is violated.
 """
 
 from __future__ import annotations
 
+import json
 from collections import Counter
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.obs.trace import read_jsonl
+from repro.obs.audit import audit_events, render_report
+from repro.obs.spans import build_spans, load_trace, render_spans
 
 Event = Dict[str, object]
 
@@ -132,5 +140,73 @@ def render(events: Sequence[Event], top_nodes: int = 10) -> str:
 
 
 def inspect_file(path: str, top_nodes: int = 10) -> str:
-    """Load ``path`` and render its report."""
-    return render(read_jsonl(path), top_nodes=top_nodes)
+    """Load ``path`` (file, directory or glob) and render its report."""
+    return inspect_path(path, top_nodes=top_nodes)[1]
+
+
+def inspect_path(
+    path: str,
+    top_nodes: int = 10,
+    spans: bool = False,
+    audit: bool = False,
+    as_json: bool = False,
+) -> Tuple[int, str]:
+    """Full inspection entry point: ``(exit_code, report_text)``.
+
+    The exit code is nonzero only when ``audit`` is requested and at
+    least one invariant is violated, so CI can gate on a traced run with
+    ``python -m repro inspect trace.jsonl --audit``.
+    """
+    load = load_trace(path)
+    report = audit_events(load.events) if audit else None
+
+    if as_json:
+        doc: Dict[str, object] = {
+            "paths": load.paths,
+            "skipped_lines": load.skipped_lines,
+            "duplicates_dropped": load.duplicates_dropped,
+            "summary": summarize(load.events),
+        }
+        if spans:
+            forest = build_spans(load.events)
+            doc["spans"] = {
+                "total": len(forest.queries),
+                "roots": len(forest.roots()),
+                "orphan_events": len(forest.orphans),
+                "by_proto": dict(
+                    Counter(span.proto for span in forest.queries)
+                ),
+                "queries": [
+                    {
+                        "query_id": span.query_id,
+                        "shard": span.scope[0],
+                        "run": span.scope[1],
+                        "proto": span.proto,
+                        "round": span.round,
+                        "consumer": span.consumer,
+                        "start": span.start,
+                        "end": span.end,
+                        "events": len(span.events),
+                        "tree_size": span.tree_size(),
+                    }
+                    for span in forest.roots()
+                ],
+            }
+        if report is not None:
+            doc["audit"] = report.to_json_dict()
+        code = 1 if report is not None and not report.ok else 0
+        return code, json.dumps(doc, indent=2, sort_keys=True, default=str)
+
+    sections = [render(load.events, top_nodes=top_nodes)]
+    if len(load.paths) > 1 or load.skipped_lines or load.duplicates_dropped:
+        sections.append(
+            f"loader: {len(load.paths)} shard file(s), "
+            f"{load.skipped_lines} unparseable line(s) skipped, "
+            f"{load.duplicates_dropped} duplicate line(s) dropped"
+        )
+    if spans:
+        sections.append(render_spans(build_spans(load.events)))
+    if report is not None:
+        sections.append(render_report(report))
+    code = 1 if report is not None and not report.ok else 0
+    return code, "\n\n".join(sections)

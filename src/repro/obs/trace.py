@@ -33,19 +33,33 @@ kind                  emitted by / meaning
 ``frame_dropped``     Radio: the OS buffer silently discarded a frame.
 ``retransmit``        Reliability: an unacked frame was re-sent.
 ``abandon``           Reliability: retries exhausted, frame given up.
-``query_issued``      Discovery/CDI: a consumer flooded a fresh query.
-``query_forwarded``   Discovery/CDI: a relay re-flooded a query.
+``query_issued``      Discovery/CDI/MDR: a consumer flooded a fresh query.
+``query_forwarded``   Discovery/CDI/MDR: a relay re-flooded a query.
 ``bloom_prune``       Discovery: DS lookup hit/miss counts vs the filter.
-``response_sent``     Discovery: entries/payloads left a responder.
+``response_sent``     Discovery/CDI: entries/payloads left a responder.
 ``mixedcast_merge``   Discovery: relayed union response (entry counts).
 ``lqt_linger``        LQT: a query began lingering at a node.
 ``lqt_expire``        LQT: a lingering query aged out.
 ``round_begin``       Rounds: a discovery round started.
 ``round_end``         Rounds: the silence rule ended a round.
 ``cdi_update``        Retrieval: CDI table learned/improved routes.
-``chunk_assignment``  Retrieval: chunk ids divided among neighbors.
-``chunk_served``      Retrieval: a stored chunk answered a query.
+``chunk_assignment``  Retrieval: chunk ids divided among neighbors
+                      (includes the raw per-chunk options for audits).
+``chunk_request``     Retrieval: a chunk query left for one neighbor
+                      (root/parent ids encode the division tree).
+``chunk_served``      Retrieval/MDR: a stored chunk answered a query.
+``chunk_received``    Retrieval: an addressed chunk reached its consumer.
 ====================  =====================================================
+
+**Correlation fields.**  Protocol events carry whichever of the shared
+correlation keys apply: ``query_id`` (message id of the governing query),
+``response_id``, ``round`` (discovery round index), ``chunk_id``,
+``consumer`` (the origin node the data is flowing toward), and ``hop``.
+Link-layer events (``frame_*``, ``retransmit``, ``abandon``) inherit the
+same keys from the payload's :meth:`~repro.net.message.Correlation` stamp
+on the frame.  :mod:`repro.obs.spans` folds these into per-query and
+per-chunk span trees; :mod:`repro.obs.audit` checks causal invariants
+over them.
 """
 
 from __future__ import annotations
@@ -204,8 +218,16 @@ class TraceBus:
         self.enabled = bool(self._sinks)
 
     def emit(self, kind: str, node: Optional[int] = None, **fields: object) -> Optional[TraceEvent]:
-        """Publish one event to all sinks (no-op while disabled)."""
+        """Publish one event to all sinks.
+
+        While no sink is attached this degenerates to a tally bump: no
+        :class:`TraceEvent` is built, the clock is not read, and the kwargs
+        dict (already materialised by the call) is dropped — so unguarded
+        emission sites still cost ~a dict build, not an object graph.
+        Guarded sites (``if trace.enabled:``) skip even that.
+        """
         if not self._sinks:
+            self.counts[kind] += 1
             return None
         event = TraceEvent(self.clock(), kind, node, self.run_id, fields)
         self.counts[kind] += 1

@@ -82,6 +82,18 @@ def test_discovery_response_round_trip():
     assert decoded.entries == entries
     assert decoded.payloads == payloads
     assert decoded.round_index == 3
+    assert decoded.query_ids == ()
+
+
+def test_discovery_response_query_ids_round_trip():
+    response = DiscoveryResponse(
+        message_id=9,
+        sender_id=4,
+        receiver_ids=frozenset({1}),
+        entries=(make_descriptor("env", "nox", time=1.0),),
+        query_ids=(42, 99, 7),
+    )
+    assert roundtrip(response).query_ids == (42, 99, 7)
 
 
 def test_cdi_query_round_trip():
@@ -101,6 +113,15 @@ def test_cdi_response_round_trip():
     )
     decoded = roundtrip(response)
     assert decoded.pairs == ((0, 0), (1, 2), (2, 5))
+    assert decoded.query_ids == ()
+
+
+def test_cdi_response_query_ids_round_trip():
+    response = CdiResponse(
+        message_id=6, sender_id=3, receiver_ids=frozenset({2}),
+        item=ITEM, pairs=((0, 1),), query_ids=(17,),
+    )
+    assert roundtrip(response).query_ids == (17,)
 
 
 def test_chunk_query_round_trip():
@@ -111,6 +132,35 @@ def test_chunk_query_round_trip():
     decoded = roundtrip(query)
     assert decoded.chunk_ids == frozenset({0, 2})
     assert decoded.receiver_ids == frozenset({8})
+    assert decoded.root_id == 0
+    assert decoded.parent_id == 0
+    assert decoded.hop_count == 0
+
+
+def test_chunk_query_division_tree_ids_round_trip():
+    # The ids stamped by ChunkQuery.divided() must survive the codec so
+    # the offline span reconstruction can rebuild the division tree.
+    query = ChunkQuery(
+        message_id=31, sender_id=1, receiver_ids=frozenset({8}),
+        item=ITEM, chunk_ids=frozenset({1}), origin_id=1, expires_at=30.0,
+        root_id=7, parent_id=19, hop_count=2,
+    )
+    decoded = roundtrip(query)
+    assert decoded.root_id == 7
+    assert decoded.parent_id == 19
+    assert decoded.hop_count == 2
+
+
+def test_divided_chunk_query_round_trips_lineage():
+    parent = ChunkQuery(
+        message_id=7, sender_id=1, receiver_ids=frozenset({8}),
+        item=ITEM, chunk_ids=frozenset({0, 2}), origin_id=1, expires_at=30.0,
+    )
+    child = parent.divided(sender_id=8, receiver=9, chunk_ids=frozenset({2}))
+    decoded = roundtrip(child)
+    assert decoded.root_id == 7
+    assert decoded.parent_id == 7
+    assert decoded.hop_count == 1
 
 
 def test_chunk_response_round_trip():

@@ -71,3 +71,86 @@ def test_inspect_without_path_errors(capsys):
 def test_inspect_missing_file_errors(tmp_path, capsys):
     assert main(["inspect", str(tmp_path / "nope.jsonl")]) == 2
     assert "no such trace file" in capsys.readouterr().err
+
+
+def _write_events(path, events):
+    path.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+
+
+_SPAN_EVENTS = [
+    {"t": 1.0, "kind": "query_issued", "run": 1, "node": 1, "query_id": 10,
+     "proto": "pdd", "round": 1, "consumer": 1, "expires_at": 31.0},
+    {"t": 1.4, "kind": "response_sent", "run": 1, "node": 4, "query_id": 10,
+     "proto": "pdd", "entries": 2, "keys": []},
+]
+
+
+def test_inspect_spans_flag_prints_span_table(tmp_path, capsys):
+    path = tmp_path / "t.jsonl"
+    _write_events(path, _SPAN_EVENTS)
+    assert main(["inspect", str(path), "--spans"]) == 0
+    out = capsys.readouterr().out
+    assert "spans: 1 across 1 root(s)" in out
+    assert "response_sent" in out
+
+
+def test_inspect_audit_clean_trace_exits_zero(tmp_path, capsys):
+    path = tmp_path / "t.jsonl"
+    _write_events(path, _SPAN_EVENTS)
+    assert main(["inspect", str(path), "--audit"]) == 0
+    out = capsys.readouterr().out
+    assert "audit: 0 violation(s)" in out
+
+
+def test_inspect_audit_violation_exits_one(tmp_path, capsys):
+    path = tmp_path / "t.jsonl"
+    _write_events(path, _SPAN_EVENTS + [
+        {"t": 40.0, "kind": "query_forwarded", "run": 1, "node": 3,
+         "query_id": 10, "expires_at": 31.0},
+    ])
+    assert main(["inspect", str(path), "--audit"]) == 1
+    out = capsys.readouterr().out
+    assert "lingering_past_expiry" in out
+    assert "FAIL" in out
+
+
+def test_inspect_json_document(tmp_path, capsys):
+    path = tmp_path / "t.jsonl"
+    _write_events(path, _SPAN_EVENTS)
+    assert main(["inspect", str(path), "--spans", "--audit", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["summary"]["total"] == 2
+    assert doc["audit"]["ok"] is True
+    assert doc["spans"]["total"] == 1
+    assert doc["spans"]["queries"][0]["query_id"] == 10
+    assert doc["spans"]["queries"][0]["proto"] == "pdd"
+
+
+def test_inspect_merges_worker_shards_from_base_path(tmp_path, capsys):
+    base = tmp_path / "t.jsonl"
+    base.write_text("")  # parent file of a --jobs N run: exists, empty
+    _write_events(tmp_path / "t.0.jsonl", [_SPAN_EVENTS[0]])
+    _write_events(tmp_path / "t.1.jsonl", [_SPAN_EVENTS[1]])
+    assert main(["inspect", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "2 events" in out
+    assert "loader: 3 shard file(s)" in out
+
+
+def test_inspect_accepts_glob_pattern(tmp_path, capsys):
+    _write_events(tmp_path / "t.0.jsonl", [_SPAN_EVENTS[0]])
+    _write_events(tmp_path / "t.1.jsonl", [_SPAN_EVENTS[1]])
+    assert main(["inspect", str(tmp_path / "t.*.jsonl")]) == 0
+    assert "2 events" in capsys.readouterr().out
+
+
+def test_inspect_accepts_directory(tmp_path, capsys):
+    _write_events(tmp_path / "a.jsonl", [_SPAN_EVENTS[0]])
+    _write_events(tmp_path / "b.jsonl", [_SPAN_EVENTS[1]])
+    assert main(["inspect", str(tmp_path)]) == 0
+    assert "2 events" in capsys.readouterr().out
+
+
+def test_inspect_unmatched_glob_errors(tmp_path, capsys):
+    assert main(["inspect", str(tmp_path / "nope.*.jsonl")]) == 2
+    assert "no trace files match" in capsys.readouterr().err

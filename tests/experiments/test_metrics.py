@@ -53,6 +53,37 @@ def test_as_row_rounding():
     assert row["recall"] == 1.0
 
 
+def test_as_row_sums_audit_violations_over_trials():
+    agg = AggregateMetrics.from_trials([
+        TrialMetrics(recall=1.0, latency_s=1.0, overhead_bytes=0,
+                     extras={"audit": {"unanswered_query": 2}}),
+        TrialMetrics(recall=1.0, latency_s=1.0, overhead_bytes=0,
+                     extras={"audit": {"unanswered_query": 1,
+                                       "early_round_stop": 1}}),
+        TrialMetrics(recall=1.0, latency_s=1.0, overhead_bytes=0),  # untraced
+    ])
+    assert agg.audited_trials == 2
+    row = agg.as_row()
+    assert row["violations"] == 4
+    assert row["audit_unanswered_query"] == 3
+    assert row["audit_early_round_stop"] == 1
+
+
+def test_as_row_clean_audit_reports_zero_violations():
+    agg = AggregateMetrics.from_trials([
+        TrialMetrics(recall=1.0, latency_s=1.0, overhead_bytes=0,
+                     extras={"audit": {}}),
+    ])
+    row = agg.as_row()
+    assert row["violations"] == 0
+    assert not any(key.startswith("audit_") for key in row)
+
+
+def test_as_row_omits_audit_columns_when_untraced():
+    agg = AggregateMetrics.from_trials([trial()])
+    assert "violations" not in agg.as_row()
+
+
 def test_as_row_includes_spread_columns():
     agg = AggregateMetrics.from_trials(
         [trial(recall=0.8, latency=1.0), trial(recall=1.0, latency=3.0)]

@@ -108,6 +108,48 @@ def test_run_trials_aggregates():
     assert agg.latency_mean == pytest.approx(2.0)
 
 
+def _traced_trial(seed, violate):
+    """A trial that runs a tiny simulation visible to global trace sinks."""
+    from repro.sim.simulator import Simulator
+
+    sim = Simulator()
+    if violate:
+        # A round that stopped before its window: early_round_stop fires.
+        sim.schedule(0.1, lambda: sim.trace.emit(
+            "round_end", node=0, round=1, duration=1.0, window=3.0))
+    else:
+        sim.schedule(0.1, lambda: sim.trace.emit(
+            "round_end", node=0, round=1, duration=3.0, window=3.0))
+    sim.run()
+    return TrialMetrics(recall=1.0, latency_s=1.0, overhead_bytes=1000)
+
+
+def test_traced_trials_carry_audit_summary():
+    from repro.obs.trace import ListSink, global_sink
+
+    with global_sink(ListSink()):
+        agg = run_trials(lambda seed: _traced_trial(seed, False), seeds=[1, 2])
+    assert agg.audited_trials == 2
+    row = agg.as_row()
+    assert row["violations"] == 0
+
+
+def test_traced_trial_violations_surface_in_row():
+    from repro.obs.trace import ListSink, global_sink
+
+    with global_sink(ListSink()):
+        agg = run_trials(lambda seed: _traced_trial(seed, True), seeds=[1, 2])
+    row = agg.as_row()
+    assert row["violations"] == 2
+    assert row["audit_early_round_stop"] == 2
+
+
+def test_untraced_trials_skip_audit():
+    agg = run_trials(lambda seed: _traced_trial(seed, True), seeds=[1])
+    assert agg.audited_trials == 0
+    assert "violations" not in agg.as_row()
+
+
 def test_render_table_contains_rows():
     table = render_table(
         "My Title",

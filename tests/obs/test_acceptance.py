@@ -1,8 +1,11 @@
-"""Acceptance: the trace reconciles with `NetworkStats` exactly.
+"""Acceptance: the trace reconciles with `NetworkStats` exactly, and the
+causal tooling reconstructs and audits it.
 
-The ISSUE's acceptance criterion: in a traced discovery run, the sum of
-``frame_sent`` event sizes equals ``NetworkStats.bytes_sent`` — i.e. the
-trace is a complete, non-duplicated record of the on-air traffic.
+Two acceptance criteria meet here: in a traced discovery run the sum of
+``frame_sent`` event sizes equals ``NetworkStats.bytes_sent`` (the trace
+is a complete, non-duplicated record of the on-air traffic), and the
+span/audit tooling reconstructs at least one span tree per issued query
+with zero invariant violations on the default seed config.
 """
 
 from repro.experiments.figures.common import (
@@ -10,7 +13,9 @@ from repro.experiments.figures.common import (
     pdd_experiment,
 )
 from repro.experiments.scenario import build_grid_scenario
+from repro.obs.audit import audit_events, render_report
 from repro.obs.inspect import summarize
+from repro.obs.spans import build_spans
 from repro.obs.trace import ListSink
 
 
@@ -58,6 +63,33 @@ def test_delivery_and_loss_events_reconcile():
         + stats.frames_lost_random
         + stats.frames_lost_busy_receiver
     )
+
+
+def test_every_issued_query_reconstructs_a_span_tree():
+    _, sink = _traced_discovery_run()
+    events = [e.to_json_dict() for e in sink.events]
+    issued = {
+        (e["run"], e["query_id"])
+        for e in events
+        if e["kind"] == "query_issued"
+    }
+    assert issued, "a discovery run must issue queries"
+    forest = build_spans(events)
+    spans = {(s.scope[1], s.query_id) for s in forest.queries}
+    assert issued <= spans
+    # every reconstructed query span saw actual protocol activity
+    for span in forest.queries:
+        assert span.events
+        assert span.issued_at is not None
+
+
+def test_traced_discovery_run_audits_clean():
+    _, sink = _traced_discovery_run()
+    events = [e.to_json_dict() for e in sink.events]
+    report = audit_events(events)
+    assert report.queries_checked > 0
+    assert report.responses_checked > 0
+    assert report.ok, render_report(report)
 
 
 def test_registry_sees_network_counters():

@@ -1,0 +1,371 @@
+"""Span reconstruction from crafted (and deliberately damaged) streams.
+
+Covers the sharding realities the loader must absorb: out-of-order shard
+interleaving, truncated JSONL tails from killed workers, duplicate events
+from retry-once crash isolation, and id collisions across forked-worker
+shards — none of which may corrupt the reconstructed span trees.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.spans import (
+    build_spans,
+    load_trace,
+    render_spans,
+    render_waterfall,
+    resolve_trace_paths,
+    scope_of,
+)
+
+
+def _ev(kind, t, run=1, shard="trace.jsonl", **fields):
+    event = {"t": t, "kind": kind, "run": run, "shard": shard}
+    event.update(fields)
+    return event
+
+
+def _write(path, events):
+    path.write_text(
+        "".join(json.dumps(e) + "\n" for e in events), encoding="utf-8"
+    )
+
+
+# ----------------------------------------------------------------------
+# Path resolution
+# ----------------------------------------------------------------------
+def test_resolve_plain_file(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text("")
+    assert resolve_trace_paths(str(path)) == [str(path)]
+
+
+def test_resolve_base_file_picks_up_worker_shards(tmp_path):
+    # After a --jobs N run the parent's file exists but is empty; the
+    # workers wrote t.0.jsonl / t.1.jsonl next to it.
+    base = tmp_path / "t.jsonl"
+    base.write_text("")
+    shard0 = tmp_path / "t.0.jsonl"
+    shard1 = tmp_path / "t.1.jsonl"
+    shard0.write_text("")
+    shard1.write_text("")
+    assert resolve_trace_paths(str(base)) == [str(base), str(shard0), str(shard1)]
+
+
+def test_resolve_shards_without_base_file(tmp_path):
+    shard = tmp_path / "t.0.jsonl"
+    shard.write_text("")
+    assert resolve_trace_paths(str(tmp_path / "t.jsonl")) == [str(shard)]
+
+
+def test_resolve_shards_sort_numerically_not_lexically(tmp_path):
+    base = tmp_path / "t.jsonl"
+    base.write_text("")
+    names = ["t.10.jsonl", "t.2.jsonl", "t.0.jsonl"]
+    for name in names:
+        (tmp_path / name).write_text("")
+    resolved = resolve_trace_paths(str(base))
+    assert [p.rsplit("/", 1)[-1] for p in resolved] == [
+        "t.jsonl", "t.0.jsonl", "t.2.jsonl", "t.10.jsonl"]
+
+
+def test_resolve_directory(tmp_path):
+    (tmp_path / "b.jsonl").write_text("")
+    (tmp_path / "a.jsonl").write_text("")
+    (tmp_path / "notes.txt").write_text("")
+    resolved = resolve_trace_paths(str(tmp_path))
+    assert [p.rsplit("/", 1)[-1] for p in resolved] == ["a.jsonl", "b.jsonl"]
+
+
+def test_resolve_glob(tmp_path):
+    (tmp_path / "t.0.jsonl").write_text("")
+    (tmp_path / "t.1.jsonl").write_text("")
+    resolved = resolve_trace_paths(str(tmp_path / "t.*.jsonl"))
+    assert len(resolved) == 2
+
+
+def test_resolve_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError, match="no such trace file"):
+        resolve_trace_paths(str(tmp_path / "nope.jsonl"))
+
+
+def test_resolve_empty_glob_raises(tmp_path):
+    with pytest.raises(FileNotFoundError, match="no trace files match"):
+        resolve_trace_paths(str(tmp_path / "*.jsonl"))
+
+
+def test_resolve_empty_directory_raises(tmp_path):
+    with pytest.raises(FileNotFoundError, match="jsonl trace files in"):
+        resolve_trace_paths(str(tmp_path))
+
+
+# ----------------------------------------------------------------------
+# Loading: damage tolerance
+# ----------------------------------------------------------------------
+def test_truncated_tail_is_skipped_not_fatal(tmp_path):
+    path = tmp_path / "t.jsonl"
+    good = {"t": 1.0, "kind": "tick", "run": 1}
+    path.write_text(
+        json.dumps(good) + "\n" + '{"t": 2.0, "kind": "tru', encoding="utf-8"
+    )
+    load = load_trace(str(path))
+    assert load.skipped_lines == 1
+    assert len(load.events) == 1
+    assert load.events[0]["kind"] == "tick"
+
+
+def test_non_dict_lines_are_skipped(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('[1, 2]\n"text"\n' + json.dumps({"t": 0.0, "kind": "x"}) + "\n")
+    load = load_trace(str(path))
+    assert load.skipped_lines == 2
+    assert len(load.events) == 1
+
+
+def test_duplicate_lines_within_a_shard_are_dropped(tmp_path):
+    # Retry-once crash isolation can replay a trial into the same shard.
+    path = tmp_path / "t.jsonl"
+    line = json.dumps({"t": 1.0, "kind": "tick", "run": 1})
+    path.write_text(line + "\n" + line + "\n")
+    load = load_trace(str(path))
+    assert load.duplicates_dropped == 1
+    assert len(load.events) == 1
+
+
+def test_identical_lines_in_different_shards_both_kept(tmp_path):
+    # Two workers can legitimately log identical-looking events (their id
+    # counters collide after fork) — dedup is per shard only.
+    base = tmp_path / "t.jsonl"
+    base.write_text("")
+    line = json.dumps({"t": 1.0, "kind": "tick", "run": 1})
+    (tmp_path / "t.0.jsonl").write_text(line + "\n")
+    (tmp_path / "t.1.jsonl").write_text(line + "\n")
+    load = load_trace(str(base))
+    assert load.duplicates_dropped == 0
+    assert len(load.events) == 2
+    assert {e["shard"] for e in load.events} == {"t.0.jsonl", "t.1.jsonl"}
+
+
+def test_shard_merge_orders_by_timestamp(tmp_path):
+    base = tmp_path / "t.jsonl"
+    base.write_text("")
+    _write(tmp_path / "t.0.jsonl", [
+        {"t": 0.5, "kind": "a", "run": 1},
+        {"t": 2.0, "kind": "b", "run": 1},
+    ])
+    _write(tmp_path / "t.1.jsonl", [
+        {"t": 0.1, "kind": "c", "run": 2},
+        {"t": 1.0, "kind": "d", "run": 2},
+    ])
+    load = load_trace(str(base))
+    assert [e["kind"] for e in load.events] == ["c", "a", "d", "b"]
+    assert load.events[0]["shard"] == "t.1.jsonl"
+
+
+def test_scope_of_uses_shard_and_run():
+    assert scope_of({"shard": "t.0.jsonl", "run": 3}) == ("t.0.jsonl", 3)
+    assert scope_of({}) == ("", 0)
+
+
+# ----------------------------------------------------------------------
+# Span reconstruction
+# ----------------------------------------------------------------------
+def test_query_span_collects_correlated_events():
+    events = [
+        _ev("query_issued", 1.0, query_id=10, proto="pdd", round=1,
+            consumer=5, item="env", expires_at=31.0),
+        _ev("query_forwarded", 1.2, query_id=10, node=3, hop=1),
+        _ev("bloom_prune", 1.3, query_id=10, node=4, hits=0, misses=2),
+        _ev("response_sent", 1.4, query_id=10, node=4, proto="pdd", entries=2),
+        _ev("response_sent", 1.5, query_ids=[10], node=6, proto="pdd", entries=1),
+    ]
+    forest = build_spans(events)
+    assert len(forest.queries) == 1
+    span = forest.queries[0]
+    assert span.query_id == 10
+    assert span.proto == "pdd"
+    assert span.round == 1
+    assert span.consumer == 5
+    assert span.issued_at == 1.0
+    assert span.expires_at == 31.0
+    assert len(span.events) == 5
+    assert span.count("response_sent") == 2
+    assert span.start == 1.0
+    assert span.end == 1.5
+    assert not forest.orphans
+
+
+def test_out_of_order_interleaving_cannot_orphan_events():
+    # After a timestamp merge across shards, a query's forward can land in
+    # the stream *before* its issue record (clock skew between runs in one
+    # shard file).  The two-pass builder must still attach it.
+    events = [
+        _ev("query_forwarded", 0.5, query_id=10, node=3),
+        _ev("query_issued", 1.0, query_id=10, proto="pdd"),
+    ]
+    forest = build_spans(events)
+    assert len(forest.queries) == 1
+    assert not forest.orphans
+    span = forest.queries[0]
+    assert span.count("query_forwarded") == 1
+    # attached events come back in time order regardless of stream order
+    assert [e["kind"] for e in span.events] == ["query_forwarded", "query_issued"]
+
+
+def test_colliding_ids_across_shards_stay_separate():
+    # Forked workers inherit the per-process id counters, so run ids AND
+    # query ids collide across shards; spans must never merge across that
+    # boundary.
+    events = [
+        _ev("query_issued", 1.0, shard="t.0.jsonl", query_id=10, proto="pdd",
+            consumer=1),
+        _ev("query_issued", 1.1, shard="t.1.jsonl", query_id=10, proto="pdd",
+            consumer=2),
+        _ev("response_sent", 1.2, shard="t.0.jsonl", query_id=10, node=4,
+            proto="pdd"),
+        _ev("response_sent", 1.3, shard="t.1.jsonl", query_id=10, node=9,
+            proto="pdd"),
+    ]
+    forest = build_spans(events)
+    assert len(forest.queries) == 2
+    by_shard = {s.scope[0]: s for s in forest.queries}
+    assert by_shard["t.0.jsonl"].consumer == 1
+    assert by_shard["t.0.jsonl"].events[-1]["node"] == 4
+    assert by_shard["t.1.jsonl"].consumer == 2
+    assert by_shard["t.1.jsonl"].events[-1]["node"] == 9
+
+
+def test_duplicate_events_do_not_duplicate_spans():
+    # The loader drops exact duplicate *lines*; a replayed trial that got
+    # slightly different timestamps still yields one span per query id.
+    events = [
+        _ev("query_issued", 1.0, query_id=10, proto="pdd"),
+        _ev("query_issued", 1.0, query_id=10, proto="pdd", item="env"),
+    ]
+    forest = build_spans(events)
+    assert len(forest.queries) == 1
+    assert forest.queries[0].item == "env"  # later record refines the span
+
+
+def test_chunk_division_tree_links_children():
+    events = [
+        _ev("chunk_request", 1.0, query_id=100, root=100, parent=None,
+            consumer=1, item="clip", neighbor=2, chunks=8),
+        _ev("chunk_request", 2.0, query_id=101, root=100, parent=100,
+            consumer=1, neighbor=3, chunks=4),
+        _ev("chunk_request", 2.1, query_id=102, root=100, parent=100,
+            consumer=1, neighbor=4, chunks=4),
+        _ev("chunk_request", 3.0, query_id=103, root=100, parent=101,
+            consumer=1, neighbor=5, chunks=2),
+    ]
+    forest = build_spans(events)
+    assert len(forest.queries) == 4
+    roots = forest.roots()
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.query_id == 100
+    assert root.proto == "chunk"
+    assert root.tree_size() == 4
+    assert [s.query_id for s in root.walk()] == [100, 101, 103, 102]
+    assert [c.query_id for c in root.children] == [101, 102]
+    assert root.children[0].children[0].query_id == 103
+
+
+def test_lost_parent_shard_promotes_child_to_root():
+    # If the parent's shard was truncated away, the child's parent id
+    # resolves to nothing — it must surface as a root, not vanish.
+    events = [
+        _ev("chunk_request", 2.0, query_id=101, root=100, parent=100),
+    ]
+    forest = build_spans(events)
+    assert len(forest.roots()) == 1
+    assert forest.roots()[0].query_id == 101
+    assert forest.roots()[0].parent_id is None
+
+
+def test_uncorrelated_events_become_orphans():
+    events = [
+        _ev("query_issued", 1.0, query_id=10, proto="pdd"),
+        _ev("frame_sent", 1.1, node=2, size=80),          # no query_id at all
+        _ev("response_sent", 1.2, query_id=99, node=4),   # unknown query
+    ]
+    forest = build_spans(events)
+    assert len(forest.queries) == 1
+    assert len(forest.orphans) == 2
+
+
+def test_by_proto_filters_spans():
+    events = [
+        _ev("query_issued", 1.0, query_id=10, proto="pdd"),
+        _ev("query_issued", 2.0, query_id=11, proto="cdi"),
+        _ev("chunk_request", 3.0, query_id=12, root=12, parent=None),
+    ]
+    forest = build_spans(events)
+    assert [s.query_id for s in forest.by_proto("pdd")] == [10]
+    assert [s.query_id for s in forest.by_proto("chunk")] == [12]
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def test_render_spans_lists_roots_and_waterfalls():
+    events = [
+        _ev("query_issued", 1.0, query_id=10, proto="pdd", round=1,
+            consumer=5, expires_at=31.0),
+        _ev("response_sent", 1.4, query_id=10, node=4, proto="pdd", entries=2),
+    ]
+    text = render_spans(build_spans(events))
+    assert "spans: 1 across 1 root(s)" in text
+    assert "pdd" in text
+    assert "response_sent" in text  # the waterfall section
+
+
+def test_render_empty_forest():
+    assert "spans: none" in render_spans(build_spans([]))
+
+
+def test_render_waterfall_truncates():
+    events = [_ev("query_issued", 1.0, query_id=10, proto="pdd")]
+    events += [
+        _ev("query_forwarded", 1.0 + i * 0.01, query_id=10, node=i)
+        for i in range(50)
+    ]
+    span = build_spans(events).queries[0]
+    lines = render_waterfall(span, max_events=5)
+    assert any("truncated" in line for line in lines)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: damaged sharded trace still yields intact trees
+# ----------------------------------------------------------------------
+def test_damaged_sharded_trace_reconstructs_clean_trees(tmp_path):
+    base = tmp_path / "t.jsonl"
+    base.write_text("")
+    shard0 = [
+        {"t": 1.0, "kind": "query_issued", "run": 1, "query_id": 10,
+         "proto": "pdd", "consumer": 1},
+        {"t": 1.5, "kind": "response_sent", "run": 1, "query_id": 10,
+         "node": 4, "proto": "pdd"},
+    ]
+    dup = {"t": 0.9, "kind": "chunk_request", "run": 2, "query_id": 10,
+           "root": 10, "parent": None, "consumer": 2}
+    lines1 = [json.dumps(dup), json.dumps(dup),          # replayed trial
+              json.dumps({"t": 1.2, "kind": "chunk_request", "run": 2,
+                          "query_id": 11, "root": 10, "parent": 10}),
+              '{"t": 9.9, "kind": "trunc']               # killed mid-write
+    _write(tmp_path / "t.0.jsonl", shard0)
+    (tmp_path / "t.1.jsonl").write_text("\n".join(lines1) + "\n")
+
+    load = load_trace(str(base))
+    assert load.skipped_lines == 1
+    assert load.duplicates_dropped == 1
+    forest = build_spans(load.events)
+    # Two independent trees: the pdd query in shard 0 (query_id 10) and
+    # the chunk tree in shard 1 (same query_id 10, different scope).
+    assert len(forest.roots()) == 2
+    chunk_root = next(s for s in forest.roots() if s.proto == "chunk")
+    assert chunk_root.tree_size() == 2
+    pdd_root = next(s for s in forest.roots() if s.proto == "pdd")
+    assert pdd_root.count("response_sent") == 1
+    assert not forest.orphans

@@ -32,10 +32,12 @@ def test_disabled_bus_emits_nothing():
     assert sim.trace.enabled is False
     sim.schedule(0.1, lambda: sim.trace.emit("tick"))
     sim.run()
-    # emit() without sinks returns None and tallies nothing; run() skips
-    # its own sim_run_end emission too.
+    # emit() without sinks builds no event but still tallies the kind, so
+    # unguarded emission sites stay countable at near-zero cost.
     assert sim.trace.emit("tick") is None
-    assert not sim.trace.counts
+    assert sim.trace.counts["tick"] == 2
+    # guarded sites never called emit(), so run() itself tallied nothing
+    assert "sim_run_end" not in sim.trace.counts
 
 
 def test_unsubscribe_disables_bus():
@@ -45,6 +47,8 @@ def test_unsubscribe_disables_bus():
     bus.unsubscribe(sink)
     assert bus.enabled is False
     assert bus.emit("tick") is None
+    assert bus.counts["tick"] == 1
+    assert not sink.events
 
 
 def test_sim_run_end_event_reports_processed_count():
@@ -110,6 +114,48 @@ def test_global_sink_attaches_to_new_simulators():
 
 def test_run_ids_distinguish_buses():
     assert Simulator().trace.run_id != Simulator().trace.run_id
+
+
+def test_sinkless_emit_never_builds_an_event():
+    # The short-circuit must not even read the clock: a bus whose clock
+    # raises proves emit() returns before any event construction.
+    def exploding_clock():
+        raise AssertionError("sink-less emit must not read the clock")
+
+    bus = TraceBus(clock=exploding_clock)
+    assert bus.emit("tick", payload="x" * 64) is None
+    assert bus.counts["tick"] == 1
+    bus.subscribe(ListSink())
+    with pytest.raises(AssertionError):
+        bus.emit("tick")
+
+
+def test_sinkless_emit_micro_benchmark():
+    """Guard the satellite perf claim: the sink-less fast path must not be
+    slower than full event construction + sink fan-out (best of 3 each,
+    so scheduler noise cannot flake the comparison)."""
+    import timeit
+
+    iterations = 20_000
+    quiet = TraceBus(clock=lambda: 0.0)
+    busy = TraceBus(clock=lambda: 0.0)
+    busy.subscribe(ListSink())
+
+    def run(bus):
+        return min(
+            timeit.repeat(
+                lambda: bus.emit("tick", node=1, size=100),
+                repeat=3,
+                number=iterations,
+            )
+        )
+
+    fast = run(quiet)
+    slow = run(busy)
+    assert fast <= slow, (
+        f"sink-less emit ({fast:.4f}s/{iterations}) must not be slower "
+        f"than sink fan-out ({slow:.4f}s/{iterations})"
+    )
 
 
 def test_emission_counts_tally_per_kind():
