@@ -1,0 +1,492 @@
+"""Performance-regression harness: ``repro bench``.
+
+Runs a registry of named benchmarks — micro-benchmarks of the two
+mobility hot paths (Bloom-filter ops, the spatial neighbor index) and
+reduced end-to-end figure runs — and writes one ``BENCH_<name>.json``
+per benchmark::
+
+    python -m repro bench --quick                # run all, write JSON
+    python -m repro bench bloom_ops spatial_index
+    python -m repro bench --quick --check        # gate against baseline
+    python -m repro bench --quick --update-baseline
+
+Each result file carries:
+
+* ``wall_s`` / ``events_per_sec`` — machine-dependent timing,
+* ``events`` and ``peak_queue_depth`` — *deterministic* counters
+  (processed simulator events, or the operation count for
+  micro-benchmarks),
+* ``meta.digest`` — a checksum over the benchmark's observable output
+  (e.g. the figure's result rows), so any behaviour drift is caught even
+  when timing is unchanged.
+
+``--check`` compares against the committed baseline
+(``benchmarks/baseline.json``): deterministic counters and digests must
+match *exactly* (they are machine-independent), while ``wall_s`` may
+regress by at most ``--tolerance`` (default 0.25, i.e. 25%; env override
+``REPRO_BENCH_TOLERANCE``).  Faster-than-baseline runs always pass.
+
+Benchmarks pin their own seeds/sizes and force ``REPRO_JOBS=1`` so the
+deterministic counters are reproducible regardless of environment knobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import random
+import sys
+import time
+import zlib
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional
+
+SCHEMA_VERSION = 1
+
+DEFAULT_TOLERANCE = 0.25
+
+DEFAULT_BASELINE = Path(__file__).resolve().parents[2] / "benchmarks" / "baseline.json"
+
+#: Baseline wall times below this are too noisy to gate on; deterministic
+#: counters still protect such benchmarks against behaviour drift.
+MIN_GATED_WALL_S = 0.05
+
+#: name -> fn(quick) -> result dict (wall_s, events, events_per_sec,
+#: peak_queue_depth, meta)
+_BENCHMARKS: Dict[str, Callable[[bool], Dict[str, object]]] = {}
+
+#: name -> timing repetitions (best-of-N; micro-benchmarks use N > 1 to
+#: shed scheduler noise, end-to-end figures are long enough already)
+_REPEATS: Dict[str, int] = {}
+
+
+def _bench(name: str, repeats: int = 1):
+    def register(fn: Callable[[bool], Dict[str, object]]):
+        _BENCHMARKS[name] = fn
+        _REPEATS[name] = repeats
+        return fn
+
+    return register
+
+
+def _digest(payload: object) -> str:
+    """Stable checksum of a JSON-serializable benchmark output."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _calibration_wall() -> float:
+    """Best-of-5 timing of a fixed pure-Python workload.
+
+    Stored next to every benchmark result; ``--check`` scales the
+    baseline's wall times by ``current_cal / baseline_cal`` so the gate
+    compares *relative* engine speed and the committed baseline stays
+    meaningful on faster or slower machines.
+    """
+    import math as _math
+
+    def workload() -> float:
+        acc = 0.0
+        table = {}
+        for i in range(120_000):
+            acc += _math.hypot(i & 1023, (i * 7) & 511)
+            table[i & 4095] = acc
+        return acc + len(table)
+
+    best = _math.inf
+    for _ in range(5):
+        start = time.perf_counter()
+        workload()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@contextmanager
+def _single_process() -> Iterator[None]:
+    """Force sequential sweeps so event counts are reproducible."""
+    previous = os.environ.get("REPRO_JOBS")
+    os.environ["REPRO_JOBS"] = "1"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_JOBS", None)
+        else:
+            os.environ["REPRO_JOBS"] = previous
+
+
+def _result(
+    wall_s: float,
+    events: int,
+    peak_queue_depth: int,
+    meta: Dict[str, object],
+) -> Dict[str, object]:
+    return {
+        "wall_s": round(wall_s, 6),
+        "events": events,
+        "events_per_sec": round(events / wall_s, 1) if wall_s > 0 else 0.0,
+        "peak_queue_depth": peak_queue_depth,
+        "meta": meta,
+    }
+
+
+# ----------------------------------------------------------------------
+# Micro-benchmarks
+# ----------------------------------------------------------------------
+@_bench("bloom_ops", repeats=3)
+def bench_bloom_ops(quick: bool) -> Dict[str, object]:
+    """Bloom insert/test/union over the key mix discovery rounds see."""
+    from repro.bloom.bloom_filter import BloomFilter
+
+    n_keys = 2_000 if quick else 20_000
+    rounds = 4
+    rng = random.Random(1234)
+    keys = [
+        b"ns=%d\x1ftype=%d\x1fid=%d" % (rng.randrange(8), rng.randrange(4), i)
+        for i in range(n_keys)
+    ]
+    ops = 0
+    observed: List[object] = []
+    start = time.perf_counter()
+    for round_index in range(rounds):
+        issued = BloomFilter.for_capacity(n_keys, seed=round_index)
+        merged = BloomFilter(issued.m_bits, issued.k_hashes, seed=round_index)
+        for key in keys:
+            issued.insert(key)
+        ops += n_keys
+        hits = sum(1 for key in keys if key in issued)
+        ops += n_keys
+        misses = sum(1 for i in range(n_keys) if b"absent-%d" % i in issued)
+        ops += n_keys
+        for key in keys[: n_keys // 2]:
+            merged.insert(key)
+        merged.union_update(issued)
+        ops += n_keys // 2 + 1
+        observed.append(
+            [hits, misses, merged.count, zlib.crc32(merged.to_bytes())]
+        )
+    wall = time.perf_counter() - start
+    return _result(
+        wall,
+        events=ops,
+        peak_queue_depth=0,
+        meta={"keys": n_keys, "rounds": rounds, "digest": _digest(observed)},
+    )
+
+
+@_bench("spatial_index", repeats=3)
+def bench_spatial_index(quick: bool) -> Dict[str, object]:
+    """Neighbor queries interleaved with moves (random-waypoint style)."""
+    from repro.net.topology import Topology
+
+    n_nodes = 150 if quick else 400
+    steps = 2_000 if quick else 12_000
+    rng = random.Random(99)
+    topology = Topology(radio_range=30.0)
+    width = height = 400.0
+    for node in range(n_nodes):
+        topology.add_node(node, (rng.uniform(0, width), rng.uniform(0, height)))
+    ops = 0
+    checksum = 0
+    start = time.perf_counter()
+    for step in range(steps):
+        node = rng.randrange(n_nodes)
+        if step % 3 == 0:
+            topology.move(node, (rng.uniform(0, width), rng.uniform(0, height)))
+        neighbors = topology.neighbors(node)
+        checksum = (checksum * 31 + len(neighbors)) % (1 << 61)
+        ops += 1 + len(neighbors)
+    wall = time.perf_counter() - start
+    return _result(
+        wall,
+        events=ops,
+        peak_queue_depth=0,
+        meta={"nodes": n_nodes, "steps": steps, "digest": _digest(checksum)},
+    )
+
+
+# ----------------------------------------------------------------------
+# End-to-end figure benchmarks
+# ----------------------------------------------------------------------
+def _profiled_figure(run: Callable[[], object]) -> Dict[str, object]:
+    from repro.obs.profile import RunProfiler
+
+    profiler = RunProfiler()
+    with _single_process(), profiler.activate():
+        start = time.perf_counter()
+        rows = run()
+        wall = time.perf_counter() - start
+    summary = profiler.summary()
+    return _result(
+        wall,
+        events=int(summary["events"]),
+        peak_queue_depth=int(summary["peak_queue_depth"]),
+        meta={
+            "runs": int(summary["runs"]),
+            "digest": _digest(json.loads(json.dumps(rows))),
+        },
+    )
+
+
+@_bench("mobility_pdd", repeats=2)
+def bench_mobility_pdd(quick: bool) -> Dict[str, object]:
+    """Reduced fig9/10 mobility sweep — the engine's hottest workload."""
+    from repro.experiments.figures.fig9_10_mobility_pdd import run_both_locations
+
+    if quick:
+        return _profiled_figure(
+            lambda: run_both_locations(
+                scales=(0.5, 1.5), seeds=[1], metadata_count=600
+            )
+        )
+    return _profiled_figure(
+        lambda: run_both_locations(seeds=[1, 2], metadata_count=1250)
+    )
+
+
+@_bench("round_params", repeats=2)
+def bench_round_params(quick: bool) -> Dict[str, object]:
+    """Reduced fig5 round-parameter sweep (static grid, heavy discovery)."""
+    from repro.experiments.figures.fig5_round_params import run
+
+    if quick:
+        return _profiled_figure(
+            lambda: run(
+                windows=(0.4, 1.0),
+                tds=(0.0,),
+                seeds=[1],
+                metadata_count=1200,
+                rows_cols=6,
+            )
+        )
+    return _profiled_figure(
+        lambda: run(
+            windows=(0.2, 0.6, 1.0),
+            tds=(0.0, 0.3),
+            seeds=[1, 2],
+            metadata_count=2500,
+            rows_cols=8,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Baseline check
+# ----------------------------------------------------------------------
+def _check_one(
+    name: str,
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float,
+) -> List[str]:
+    """Failure messages for one benchmark vs its baseline entry."""
+    failures: List[str] = []
+    for field in ("events", "peak_queue_depth"):
+        if current[field] != baseline.get(field):
+            failures.append(
+                f"{name}: deterministic counter {field!r} changed: "
+                f"baseline {baseline.get(field)} != current {current[field]}"
+            )
+    base_digest = (baseline.get("meta") or {}).get("digest")
+    cur_digest = (current.get("meta") or {}).get("digest")
+    if base_digest != cur_digest:
+        failures.append(
+            f"{name}: output digest changed: "
+            f"baseline {base_digest} != current {cur_digest}"
+        )
+    base_wall = baseline.get("wall_s")
+    if isinstance(base_wall, (int, float)) and base_wall >= MIN_GATED_WALL_S:
+        # Normalize for machine speed: scale the baseline by the ratio of
+        # calibration-loop timings taken on each machine.
+        base_cal = baseline.get("calibration_s")
+        cur_cal = current.get("calibration_s")
+        speed_ratio = 1.0
+        if (
+            isinstance(base_cal, (int, float))
+            and isinstance(cur_cal, (int, float))
+            and base_cal > 0
+        ):
+            speed_ratio = float(cur_cal) / float(base_cal)
+        limit = base_wall * speed_ratio * (1.0 + tolerance)
+        if float(current["wall_s"]) > limit:
+            failures.append(
+                f"{name}: wall-clock regression: {current['wall_s']:.3f}s > "
+                f"{limit:.3f}s (baseline {base_wall:.3f}s × speed ratio "
+                f"{speed_ratio:.2f} + {tolerance:.0%})"
+            )
+    return failures
+
+
+def _baseline_section(quick: bool) -> str:
+    return "quick" if quick else "full"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run performance benchmarks and write BENCH_<name>.json.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="benchmarks to run (default: all; see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available benchmarks"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced workloads (CI smoke; separate baseline section)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the baseline; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="baseline JSON path (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional wall-clock regression "
+        f"(default: REPRO_BENCH_TOLERANCE or {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write current results into the baseline file",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory for BENCH_<name>.json files (default: cwd)",
+    )
+    return parser
+
+
+def _resolve_tolerance(arg: Optional[float]) -> float:
+    if arg is not None:
+        return arg
+    raw = os.environ.get("REPRO_BENCH_TOLERANCE")
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            print(
+                f"ignoring invalid REPRO_BENCH_TOLERANCE={raw!r}",
+                file=sys.stderr,
+            )
+    return DEFAULT_TOLERANCE
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list:
+        print("Available benchmarks:")
+        for name, fn in _BENCHMARKS.items():
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:16s} {summary}")
+        return 0
+
+    names = args.names or list(_BENCHMARKS)
+    unknown = [name for name in names if name not in _BENCHMARKS]
+    if unknown:
+        print(
+            f"unknown benchmark(s): {', '.join(unknown)}; "
+            "try `repro bench --list`",
+            file=sys.stderr,
+        )
+        return 2
+
+    tolerance = _resolve_tolerance(args.tolerance)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    calibration_s = _calibration_wall()
+    print(f"calibration: {calibration_s * 1000:.1f}ms", flush=True)
+
+    results: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        print(f"bench {name} ({'quick' if args.quick else 'full'}) ...", flush=True)
+        result = _BENCHMARKS[name](args.quick)
+        # Best-of-N timing for short benchmarks; deterministic fields
+        # must agree across repetitions or the benchmark itself is broken.
+        for _ in range(_REPEATS[name] - 1):
+            rerun = _BENCHMARKS[name](args.quick)
+            for field in ("events", "peak_queue_depth", "meta"):
+                if rerun[field] != result[field]:
+                    print(
+                        f"{name}: nondeterministic {field!r} across repeats",
+                        file=sys.stderr,
+                    )
+                    return 2
+            if rerun["wall_s"] < result["wall_s"]:
+                result = rerun
+        record = {
+            "schema": SCHEMA_VERSION,
+            "name": name,
+            "quick": args.quick,
+            "calibration_s": round(calibration_s, 6),
+            **result,
+        }
+        results[name] = record
+        out_path = out_dir / f"BENCH_{name}.json"
+        out_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(
+            f"  wall {record['wall_s']:.3f}s  events {record['events']}  "
+            f"{record['events_per_sec']:.0f} ev/s  "
+            f"peak queue {record['peak_queue_depth']}  -> {out_path}"
+        )
+
+    baseline_path = Path(args.baseline)
+    section = _baseline_section(args.quick)
+
+    if args.update_baseline:
+        if baseline_path.exists():
+            baseline = json.loads(baseline_path.read_text())
+        else:
+            baseline = {"schema": SCHEMA_VERSION, "tolerance": DEFAULT_TOLERANCE}
+        baseline.setdefault(section, {}).update(results)
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"baseline updated: {baseline_path} [{section}]")
+        return 0
+
+    if args.check:
+        if not baseline_path.exists():
+            print(f"no baseline at {baseline_path}", file=sys.stderr)
+            return 2
+        baseline = json.loads(baseline_path.read_text()).get(section, {})
+        failures: List[str] = []
+        for name, record in results.items():
+            entry = baseline.get(name)
+            if entry is None:
+                failures.append(f"{name}: no [{section}] baseline entry")
+                continue
+            failures.extend(_check_one(name, record, entry, tolerance))
+        if failures:
+            print("\nPERF CHECK FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"\nperf check passed ({len(results)} benchmarks, "
+              f"wall tolerance {tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

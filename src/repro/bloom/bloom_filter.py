@@ -10,25 +10,45 @@ The filter supports the operations the protocol needs:
 
 Bloom filters guarantee no false negatives; false positives occur at a
 controlled rate.  Property tests in ``tests/bloom`` verify both.
+
+The bit array is a single Python ``int`` bitmask: insert is one ``|=`` of
+the key's precomputed probe mask, membership one subset test, union one
+``|`` — all C-speed big-int operations instead of a per-probe Python loop.
+Bit ``i`` of the int is bit ``i`` of the filter, i.e. byte ``i // 8`` bit
+``i % 8`` of the little-endian serialized array, so wire bytes are
+unchanged from the historical ``bytearray`` implementation bit for bit
+(``tests/bloom`` proves equivalence against a bytearray reference).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from repro.bloom.hashing import indexes
+from repro.bloom.hashing import bit_mask, indexes  # noqa: F401  (indexes: reference API)
 from repro.bloom.sizing import (
     DEFAULT_FALSE_POSITIVE_RATE,
-    expected_false_positive_rate,
     optimal_parameters,
 )
 from repro.errors import ConfigurationError
 
+try:
+    _popcount = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - older interpreters
+    def _popcount(value: int) -> int:
+        return bin(value).count("1")
+
 
 class BloomFilter:
-    """A fixed-size Bloom filter over byte-string keys."""
+    """A fixed-size Bloom filter over byte-string keys.
 
-    __slots__ = ("m_bits", "k_hashes", "seed", "_bits", "count")
+    ``count`` is an *upper bound on the number of distinct keys the filter
+    holds*: inserting a key that already tests positive does not increment
+    it (so duplicate inserts no longer inflate it), and an in-place union
+    sums the two bounds (exact when the operands are disjoint, still an
+    upper bound otherwise, since ``|A ∪ B| <= |A| + |B|``).
+    """
+
+    __slots__ = ("m_bits", "k_hashes", "seed", "_int", "count")
 
     def __init__(self, m_bits: int, k_hashes: int, seed: int = 0) -> None:
         if m_bits <= 0:
@@ -38,8 +58,8 @@ class BloomFilter:
         self.m_bits = m_bits
         self.k_hashes = k_hashes
         self.seed = seed
-        self._bits = bytearray((m_bits + 7) // 8)
-        #: Number of insert() calls (an upper bound on distinct elements).
+        self._int = 0
+        #: Upper bound on distinct keys inserted (see class docstring).
         self.count = 0
 
     # ------------------------------------------------------------------
@@ -60,17 +80,24 @@ class BloomFilter:
         return cls.for_capacity(0, seed=seed)
 
     # ------------------------------------------------------------------
-    def insert(self, key: bytes) -> None:
-        """Add ``key`` to the set."""
-        for index in indexes(key, self.seed, self.k_hashes, self.m_bits):
-            self._bits[index >> 3] |= 1 << (index & 7)
+    def insert(self, key: bytes) -> bool:
+        """Add ``key`` to the set.
+
+        Returns:
+            True if the filter changed (the key was not already present);
+            only such inserts bump ``count``.
+        """
+        mask = bit_mask(key, self.seed, self.k_hashes, self.m_bits)
+        bits = self._int
+        if bits & mask == mask:
+            return False
+        self._int = bits | mask
         self.count += 1
+        return True
 
     def __contains__(self, key: bytes) -> bool:
-        return all(
-            self._bits[index >> 3] & (1 << (index & 7))
-            for index in indexes(key, self.seed, self.k_hashes, self.m_bits)
-        )
+        mask = bit_mask(key, self.seed, self.k_hashes, self.m_bits)
+        return self._int & mask == mask
 
     def insert_all(self, keys: Iterable[bytes]) -> None:
         """Add every key in ``keys``."""
@@ -79,6 +106,9 @@ class BloomFilter:
 
     def union_update(self, other: "BloomFilter") -> None:
         """In-place union with a filter of identical geometry and seed.
+
+        ``count`` becomes the sum of both bounds — an upper bound on the
+        union's distinct keys, exact when the key sets are disjoint.
 
         Raises:
             ConfigurationError: on geometry/seed mismatch (the union of
@@ -90,21 +120,40 @@ class BloomFilter:
             or other.seed != self.seed
         ):
             raise ConfigurationError("cannot union Bloom filters of different geometry")
-        for i, byte in enumerate(other._bits):
-            self._bits[i] |= byte
+        self._int |= other._int
         self.count += other.count
 
     def copy(self) -> "BloomFilter":
         """An independent copy."""
         clone = BloomFilter(self.m_bits, self.k_hashes, self.seed)
-        clone._bits = bytearray(self._bits)
+        clone._int = self._int
         clone.count = self.count
         return clone
 
     # ------------------------------------------------------------------
+    # Serialization views
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """The bit array as wire bytes (bit ``i`` → byte ``i//8`` bit ``i%8``)."""
+        return self._int.to_bytes((self.m_bits + 7) // 8, "little")
+
+    def load_bytes(self, data: bytes) -> None:
+        """Restore the bit array from :meth:`to_bytes` output."""
+        self._int = int.from_bytes(data, "little")
+
+    @property
+    def _bits(self) -> bytearray:
+        """Legacy ``bytearray`` view of the bit array (compatibility)."""
+        return bytearray(self.to_bytes())
+
+    @_bits.setter
+    def _bits(self, value) -> None:
+        self.load_bytes(bytes(value))
+
+    # ------------------------------------------------------------------
     def wire_size(self) -> int:
         """Serialized size in bytes: bit array + small fixed header."""
-        return len(self._bits) + 6  # m(3B), k(1B), seed(2B) in a compact coding
+        return (self.m_bits + 7) // 8 + 6  # m(3B), k(1B), seed(2B) compact coding
 
     def trace_fields(self) -> dict:
         """JSON-safe snapshot (geometry + bit array) for trace events.
@@ -118,7 +167,7 @@ class BloomFilter:
             "bloom_m": self.m_bits,
             "bloom_k": self.k_hashes,
             "bloom_seed": self.seed,
-            "bloom_bits": bytes(self._bits).hex(),
+            "bloom_bits": self.to_bytes().hex(),
         }
 
     @classmethod
@@ -129,17 +178,22 @@ class BloomFilter:
             int(fields["bloom_k"]),
             int(fields.get("bloom_seed", 0)),
         )
-        bloom._bits = bytearray.fromhex(str(fields["bloom_bits"]))
+        bloom.load_bytes(bytes.fromhex(str(fields["bloom_bits"])))
         return bloom
 
     def estimated_false_positive_rate(self) -> float:
-        """Analytical FP rate at the current load."""
-        return expected_false_positive_rate(self.m_bits, self.k_hashes, self.count)
+        """FP probability at the *actual* current fill.
+
+        ``(set_bits / m) ** k`` — the chance an absent key's ``k`` probes
+        all land on set bits.  Computed from the bit array itself, so it
+        stays truthful after unions and duplicate inserts, where any
+        count-based analytic estimate misreports.
+        """
+        return (_popcount(self._int) / self.m_bits) ** self.k_hashes
 
     def fill_ratio(self) -> float:
         """Fraction of bits set (diagnostic)."""
-        set_bits = sum(bin(byte).count("1") for byte in self._bits)
-        return set_bits / self.m_bits
+        return _popcount(self._int) / self.m_bits
 
     def __repr__(self) -> str:
         return (
@@ -157,9 +211,9 @@ class NullFilter:
 
     seed = 0
 
-    def insert(self, key: bytes) -> None:
+    def insert(self, key: bytes) -> bool:
         """Ignore the key (the null set absorbs nothing)."""
-        pass
+        return False
 
     def insert_all(self, keys: Iterable[bytes]) -> None:  # noqa: D102
         pass

@@ -7,6 +7,14 @@ values (C-speed; these filters are consulted millions of times per
 simulation run), where the *seed* selects the hash family — this is how
 PDS varies hash functions across discovery rounds so Bloom-filter false
 positives decay geometrically (§V-3).
+
+Hot paths use :func:`bit_mask`, which batches the ``k`` probes of a key
+into one integer bitmask (bit ``i`` of the mask set ⇔ bit position ``i``
+of the filter probed).  Insert is then a single ``|=`` and membership a
+single subset test on the filter's int-backed bit array, and the mask is
+memoized per ``(key, seed, k, m)`` so re-probing a key costs one dict hit.
+:func:`indexes` remains as the one-probe-at-a-time reference; the two are
+definitionally identical.
 """
 
 from __future__ import annotations
@@ -38,3 +46,17 @@ def indexes(data: bytes, seed: int, k: int, m: int) -> Iterator[int]:
     h1, h2 = _base_hashes(data, seed)
     for i in range(k):
         yield (h1 + i * h2) % m
+
+
+@lru_cache(maxsize=1 << 17)
+def bit_mask(data: bytes, seed: int, k: int, m: int) -> int:
+    """The ``k`` probe positions of ``data`` as one integer bitmask.
+
+    Exactly ``{1 << i for i in indexes(data, seed, k, m)}`` OR-ed together
+    (duplicate probe positions collapse, as they do in the bit array).
+    """
+    h1, h2 = _base_hashes(data, seed)
+    mask = 0
+    for i in range(k):
+        mask |= 1 << ((h1 + i * h2) % m)
+    return mask

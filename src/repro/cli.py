@@ -14,6 +14,7 @@ Observability::
     python -m repro fig4 --metrics           # wall-time / events-per-second
                                              # profile after the tables
     python -m repro inspect out.jsonl        # summarize a trace file
+    python -m repro bench --quick --check    # perf-regression gate
 """
 
 from __future__ import annotations
@@ -162,7 +163,15 @@ def _run_figures(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw_argv = list(sys.argv[1:] if argv is None else argv)
+    if raw_argv and raw_argv[0] == "bench":
+        # The bench subcommand has its own flag set; dispatch before the
+        # figure parser rejects them.
+        from repro.bench import main as bench_main
+
+        return bench_main(raw_argv[1:])
+
+    args = build_parser().parse_args(raw_argv)
     if args.seeds is not None:
         os.environ["REPRO_SEEDS"] = str(args.seeds)
     if args.scale is not None:

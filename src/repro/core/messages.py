@@ -6,6 +6,11 @@ the ``rewritten`` helpers, because on a broadcast medium the original object
 is still referenced by in-flight deliveries to other nodes.
 
 Every message computes its own serialized size for the overhead metric.
+``wire_size()`` is memoized per instance (immutability makes that sound:
+every field the size depends on is frozen, and an attached Bloom filter's
+size depends only on its fixed geometry) — the size of one message is
+charged once per queue/send/ack decision on every hop, which made repeated
+recomputation a measurable slice of large runs.
 """
 
 from __future__ import annotations
@@ -38,6 +43,12 @@ def next_message_id() -> int:
 
 def _receivers_size(receivers: Optional[FrozenSet[NodeId]]) -> int:
     return 0 if receivers is None else RECEIVER_ID_BYTES * len(receivers)
+
+
+def _memoize_size(message: "PdsMessage", size: int) -> int:
+    """Stash a computed wire size on a frozen message instance."""
+    object.__setattr__(message, "_wire_size", size)
+    return size
 
 
 @dataclass(frozen=True)
@@ -81,8 +92,13 @@ class DiscoveryQuery(PdsMessage):
     hop_count: int = 0
 
     def wire_size(self) -> int:
+        cached = self.__dict__.get("_wire_size")
+        if cached is not None:
+            return cached
         bloom_size = self.bloom.wire_size() if hasattr(self.bloom, "wire_size") else 0
-        return self.base_size() + self.spec.wire_size() + bloom_size + 3
+        return _memoize_size(
+            self, self.base_size() + self.spec.wire_size() + bloom_size + 3
+        )
 
     def correlation(self) -> Correlation:
         """Causal ids the link layer stamps on this message's frames."""
@@ -129,11 +145,14 @@ class DiscoveryResponse(PdsMessage):
     query_ids: Tuple[int, ...] = ()
 
     def wire_size(self) -> int:
+        cached = self.__dict__.get("_wire_size")
+        if cached is not None:
+            return cached
         entries_size = sum(e.wire_size() for e in self.entries)
         payload_size = sum(
             c.descriptor.wire_size() + c.size for c in self.payloads
         )
-        return self.base_size() + entries_size + payload_size
+        return _memoize_size(self, self.base_size() + entries_size + payload_size)
 
     def correlation(self) -> Correlation:
         """Causal ids the link layer stamps on this message's frames."""
@@ -179,7 +198,10 @@ class CdiQuery(PdsMessage):
     hop_count: int = 0
 
     def wire_size(self) -> int:
-        return self.base_size() + self.item.wire_size() + 1
+        cached = self.__dict__.get("_wire_size")
+        if cached is not None:
+            return cached
+        return _memoize_size(self, self.base_size() + self.item.wire_size() + 1)
 
     def correlation(self) -> Correlation:
         """Causal ids the link layer stamps on this message's frames."""
@@ -215,7 +237,12 @@ class CdiResponse(PdsMessage):
     query_ids: Tuple[int, ...] = ()
 
     def wire_size(self) -> int:
-        return self.base_size() + self.item.wire_size() + 4 * len(self.pairs)
+        cached = self.__dict__.get("_wire_size")
+        if cached is not None:
+            return cached
+        return _memoize_size(
+            self, self.base_size() + self.item.wire_size() + 4 * len(self.pairs)
+        )
 
     def correlation(self) -> Correlation:
         """Causal ids the link layer stamps on this message's frames."""
@@ -263,7 +290,12 @@ class ChunkQuery(PdsMessage):
     hop_count: int = 0
 
     def wire_size(self) -> int:
-        return self.base_size() + self.item.wire_size() + 2 * len(self.chunk_ids)
+        cached = self.__dict__.get("_wire_size")
+        if cached is not None:
+            return cached
+        return _memoize_size(
+            self, self.base_size() + self.item.wire_size() + 2 * len(self.chunk_ids)
+        )
 
     def correlation(self) -> Correlation:
         """Causal ids the link layer stamps on this message's frames."""
@@ -299,7 +331,13 @@ class ChunkResponse(PdsMessage):
     chunk: Chunk = None  # type: ignore[assignment]
 
     def wire_size(self) -> int:
-        return self.base_size() + self.chunk.descriptor.wire_size() + self.chunk.size
+        cached = self.__dict__.get("_wire_size")
+        if cached is not None:
+            return cached
+        return _memoize_size(
+            self,
+            self.base_size() + self.chunk.descriptor.wire_size() + self.chunk.size,
+        )
 
     def correlation(self) -> Correlation:
         """Causal ids the link layer stamps on this message's frames."""
@@ -335,8 +373,13 @@ class MdrQuery(PdsMessage):
     hop_count: int = 0
 
     def wire_size(self) -> int:
+        cached = self.__dict__.get("_wire_size")
+        if cached is not None:
+            return cached
         bitmap = (self.total_chunks + 7) // 8
-        return self.base_size() + self.item.wire_size() + bitmap + 3
+        return _memoize_size(
+            self, self.base_size() + self.item.wire_size() + bitmap + 3
+        )
 
     def correlation(self) -> Correlation:
         """Causal ids the link layer stamps on this message's frames."""

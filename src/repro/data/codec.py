@@ -348,7 +348,7 @@ def encode_bloom(bloom) -> bytes:
             encode_varint(bloom.m_bits),
             encode_varint(bloom.k_hashes),
             encode_varint(bloom.seed),
-            bytes(bloom._bits),
+            bloom.to_bytes(),
         )
     )
 
@@ -366,5 +366,5 @@ def decode_bloom(data: bytes, offset: int = 0):
     if offset + n_bytes > len(data):
         raise DataModelError("truncated bloom filter")
     bloom = BloomFilter(m_bits, k_hashes, seed)
-    bloom._bits = bytearray(data[offset : offset + n_bytes])
+    bloom.load_bytes(data[offset : offset + n_bytes])
     return bloom, offset + n_bytes

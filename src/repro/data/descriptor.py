@@ -20,10 +20,11 @@ class DataDescriptor:
     Two descriptors are equal iff they carry the same attribute mapping.
     """
 
-    __slots__ = ("_attrs", "_hash", "_key_cache")
+    __slots__ = ("_attrs", "_hash", "_key_cache", "_wire_cache")
 
     def __init__(self, attrs: Mapping[str, AttributeValue]) -> None:
         self._key_cache: Optional[bytes] = None
+        self._wire_cache: Optional[int] = None
         if not attrs:
             raise DataModelError("a descriptor needs at least one attribute")
         validated = {}
@@ -107,8 +108,12 @@ class DataDescriptor:
 
     # -- accounting -------------------------------------------------------
     def wire_size(self) -> int:
-        """Approximate serialized size of this descriptor in bytes."""
-        return sum(wire_size(name, value) for name, value in self._attrs)
+        """Approximate serialized size of this descriptor in bytes (cached)."""
+        if self._wire_cache is None:
+            self._wire_cache = sum(
+                wire_size(name, value) for name, value in self._attrs
+            )
+        return self._wire_cache
 
     def stable_key(self) -> bytes:
         """A canonical byte string for hashing into Bloom filters (cached)."""

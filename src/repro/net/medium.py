@@ -26,6 +26,7 @@ is O(1) instead of scanning transmission history.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -101,6 +102,9 @@ class BroadcastMedium:
         self._receivers: Dict[NodeId, Callable[[Frame], None]] = {}
         #: Transmissions whose airtime has not ended yet.
         self._active: List[_Transmission] = []
+        #: Earliest end time among ``_active`` — lets carrier-sense calls
+        #: skip the prune scan while every transmission is still on the air.
+        self._active_min_end: float = math.inf
         #: Receptions in progress, per receiving node.
         self._receiving: Dict[NodeId, List[_Reception]] = {}
 
@@ -125,17 +129,21 @@ class BroadcastMedium:
 
     def _prune_active(self) -> None:
         now = self.sim.now
-        if any(tx.end <= now for tx in self._active):
-            self._active = [tx for tx in self._active if tx.end > now]
+        if now < self._active_min_end:
+            return
+        active = [tx for tx in self._active if tx.end > now]
+        self._active = active
+        self._active_min_end = min((tx.end for tx in active), default=math.inf)
 
     def _senses(self, node_id: NodeId, sender: NodeId) -> bool:
         """Whether ``node_id``'s carrier sense detects ``sender``."""
         if node_id == sender:
             return True
-        if node_id not in self.topology or sender not in self.topology:
-            return False
-        sense_range = self.topology.radio_range * self.carrier_sense_factor
-        return sender in self.topology.nodes_within(node_id, sense_range)
+        topology = self.topology
+        sense_range = topology.radio_range * self.carrier_sense_factor
+        # One distance check, not a range query: same disk-model predicate
+        # as ``nodes_within`` but O(1) and no cache churn under mobility.
+        return topology.within(node_id, sender, sense_range)
 
     def channel_busy(self, node_id: NodeId) -> bool:
         """Carrier sense: is any sensed node (or self) transmitting now?"""
@@ -192,97 +200,129 @@ class BroadcastMedium:
                 reception.ruined_by_busy = True
 
         if frame.sender in self.topology:
-            for receiver in self.topology.neighbors(frame.sender):
-                reception = _Reception(sender=frame.sender, start=now, end=end)
-                # Collision: another in-range transmission is already being
-                # received here — both frames are ruined.
-                for other in self._receiving.get(receiver, ()):
-                    if other.end > now:
-                        other.ruined_by_collision = True
-                        reception.ruined_by_collision = True
-                # Half duplex: the receiver itself is mid-transmission.
-                if any(a.sender == receiver for a in self._active):
-                    reception.ruined_by_busy = True
-                self._receiving.setdefault(receiver, []).append(reception)
-                tx.receptions[receiver] = reception
-                self.sim.schedule(duration, self._deliver, tx, receiver)
+            receivers = self.topology.neighbors(frame.sender)
+            if receivers:
+                receiving = self._receiving
+                # Half duplex: precompute who is on the air right now, once
+                # per transmission instead of once per receiver.
+                on_air = {active.sender for active in self._active}
+                for receiver in receivers:
+                    reception = _Reception(sender=frame.sender, start=now, end=end)
+                    # Collision: another in-range transmission is already
+                    # being received here — both frames are ruined.
+                    for other in receiving.get(receiver, ()):
+                        if other.end > now:
+                            other.ruined_by_collision = True
+                            reception.ruined_by_collision = True
+                    # Half duplex: the receiver itself is mid-transmission.
+                    if receiver in on_air:
+                        reception.ruined_by_busy = True
+                    receiving.setdefault(receiver, []).append(reception)
+                    tx.receptions[receiver] = reception
+                # One queue event fans out to every receiver.  The k
+                # per-receiver events this replaces carried consecutive
+                # sequence numbers, so nothing could ever interleave them:
+                # delivering sequentially inside one event observes and
+                # produces the exact same state transitions.
+                self.sim.schedule(duration, self._deliver_all, tx)
 
         self._active.append(tx)
+        if end < self._active_min_end:
+            self._active_min_end = end
         return duration
 
-    def _deliver(self, tx: _Transmission, receiver: NodeId) -> None:
-        reception = tx.receptions.pop(receiver, None)
-        if reception is not None:
-            in_progress = self._receiving.get(receiver)
+    def _deliver_all(self, tx: _Transmission) -> None:
+        """Deliver ``tx`` to every pending receiver, in schedule order.
+
+        Per-transmission invariants (frame fields, loss probability, trace
+        correlation fields...) are hoisted out of the per-receiver loop —
+        this runs once per frame for every in-range node, which makes it
+        the hottest loop in the whole simulator.
+        """
+        receptions = tx.receptions
+        if not receptions:
+            return
+        tx.receptions = {}
+        sim = self.sim
+        now = sim.now
+        trace = sim.trace
+        trace_enabled = trace.enabled
+        frame = tx.frame
+        sender = tx.sender
+        frame_size = frame.size
+        corr = frame_corr_fields(frame) if trace_enabled else {}
+        in_range = self.topology.in_range
+        receivers = self._receivers
+        receiving = self._receiving
+        base_loss = self.base_loss
+        rng_random = self.rng.random
+        record_loss = self.stats.record_loss
+        record_delivery = self.stats.record_delivery
+        observe = self._latency_hist.observe
+        # Per-hop latency: enqueue (when stamped by the sending face) or
+        # transmission start, to delivery.
+        enqueued = frame.enqueued_at
+        latency_base = enqueued if enqueued is not None else tx.start
+        for receiver, reception in receptions.items():
+            in_progress = receiving.get(receiver)
             if in_progress is not None:
                 try:
                     in_progress.remove(reception)
                 except ValueError:
                     pass
                 if not in_progress:
-                    del self._receiving[receiver]
-        deliver = self._receivers.get(receiver)
-        if deliver is None or receiver not in self.topology:
-            return
-        # The receiver may have moved out of range during the airtime.
-        if tx.sender not in self.topology or not self.topology.in_range(
-            receiver, tx.sender
-        ):
-            return
-        if reception is None:
-            return
-        trace = self.sim.trace
-        if reception.ruined_by_busy:
-            self.stats.record_loss("busy_receiver")
-            if trace.enabled:
+                    del receiving[receiver]
+            deliver = receivers.get(receiver)
+            # ``in_range`` covers nodes that left or moved apart during the
+            # airtime: absent nodes are never in range.
+            if deliver is None or not in_range(receiver, sender):
+                continue
+            if reception.ruined_by_busy:
+                record_loss("busy_receiver")
+                if trace_enabled:
+                    trace.emit(
+                        "frame_lost",
+                        node=receiver,
+                        frame_id=frame.frame_id,
+                        sender=sender,
+                        reason="busy_receiver",
+                        **corr,
+                    )
+                continue
+            if reception.ruined_by_collision:
+                record_loss("collision")
+                if trace_enabled:
+                    trace.emit(
+                        "frame_lost",
+                        node=receiver,
+                        frame_id=frame.frame_id,
+                        sender=sender,
+                        reason="collision",
+                        **corr,
+                    )
+                continue
+            if base_loss > 0 and rng_random() < base_loss:
+                record_loss("random")
+                if trace_enabled:
+                    trace.emit(
+                        "frame_lost",
+                        node=receiver,
+                        frame_id=frame.frame_id,
+                        sender=sender,
+                        reason="random",
+                        **corr,
+                    )
+                continue
+            record_delivery(receiver, frame_size)
+            observe(now - latency_base)
+            if trace_enabled:
                 trace.emit(
-                    "frame_lost",
+                    "frame_delivered",
                     node=receiver,
-                    frame_id=tx.frame.frame_id,
-                    sender=tx.sender,
-                    reason="busy_receiver",
-                    **frame_corr_fields(tx.frame),
+                    frame_id=frame.frame_id,
+                    sender=sender,
+                    frame_kind=frame.kind,
+                    size=frame_size,
+                    **corr,
                 )
-            return
-        if reception.ruined_by_collision:
-            self.stats.record_loss("collision")
-            if trace.enabled:
-                trace.emit(
-                    "frame_lost",
-                    node=receiver,
-                    frame_id=tx.frame.frame_id,
-                    sender=tx.sender,
-                    reason="collision",
-                    **frame_corr_fields(tx.frame),
-                )
-            return
-        if self.base_loss > 0 and self.rng.random() < self.base_loss:
-            self.stats.record_loss("random")
-            if trace.enabled:
-                trace.emit(
-                    "frame_lost",
-                    node=receiver,
-                    frame_id=tx.frame.frame_id,
-                    sender=tx.sender,
-                    reason="random",
-                    **frame_corr_fields(tx.frame),
-                )
-            return
-        self.stats.record_delivery(receiver, tx.frame.size)
-        # Per-hop latency: enqueue (when stamped by the sending face) or
-        # transmission start, to delivery.
-        enqueued = tx.frame.enqueued_at
-        self._latency_hist.observe(
-            self.sim.now - (enqueued if enqueued is not None else tx.start)
-        )
-        if trace.enabled:
-            trace.emit(
-                "frame_delivered",
-                node=receiver,
-                frame_id=tx.frame.frame_id,
-                sender=tx.sender,
-                frame_kind=tx.frame.kind,
-                size=tx.frame.size,
-                **frame_corr_fields(tx.frame),
-            )
-        deliver(tx.frame)
+            deliver(frame)

@@ -5,17 +5,38 @@ disk model: two nodes are neighbors iff their distance is at most
 ``radio_range``.  Mobility models move nodes by calling :meth:`move`;
 join/leave events add and remove nodes.  A 10×10 grid spaced so each node
 reaches its 8 surrounding neighbors is the paper's static scenario (§VI-A).
+
+Range queries run on a uniform-grid spatial index (cell side =
+``radio_range``), so :meth:`neighbors`/:meth:`nodes_within` cost
+O(occupancy of the covering cells) instead of O(N).  Results are memoized
+per ``(node, radius)`` and invalidated *incrementally*: a move only evicts
+the entries of nodes near the old or new position, so one walking node no
+longer wipes the neighbor knowledge of the whole area.  Query results are
+returned as fresh lists — callers may mutate them freely without poisoning
+the shared cache — and their element order is the node *insertion* order,
+exactly what the previous brute-force scan over the position dict yielded,
+which keeps event orderings (and therefore whole simulations)
+bit-identical to the unindexed implementation.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import TopologyError
 
 NodeId = int
 Position = Tuple[float, float]
+
+Cell = Tuple[int, int]
+
+#: Hard caps keeping the memo bounded for pathological workloads (many
+#: distinct query radii, or huge populations): blow past either and the
+#: memo is simply dropped and rebuilt on demand.
+_MAX_CACHED_RADII = 16
+_MAX_CACHED_ENTRIES = 1 << 17
 
 
 class Topology:
@@ -28,12 +49,102 @@ class Topology:
         self._positions: Dict[NodeId, Position] = {}
         #: Bumped on every mutation; range-query caches key off it.
         self.version = 0
-        self._range_cache: Dict[Tuple[NodeId, float], List[NodeId]] = {}
+        #: Uniform grid: cell -> ids of nodes inside it.
+        self._cell_size = radio_range
+        self._cells: Dict[Cell, Set[NodeId]] = {}
+        self._cell_of: Dict[NodeId, Cell] = {}
+        #: Monotonic insertion index per node; range-query results are
+        #: sorted by it to reproduce position-dict iteration order.
+        self._order: Dict[NodeId, int] = {}
+        self._order_counter = itertools.count()
+        #: radius -> node -> cached ``nodes_within`` result.
+        self._range_cache: Dict[float, Dict[NodeId, List[NodeId]]] = {}
+        self._cache_entries = 0
 
-    def _invalidate(self) -> None:
-        self.version += 1
-        if self._range_cache:
-            self._range_cache.clear()
+    # ------------------------------------------------------------------
+    # Spatial index internals
+    # ------------------------------------------------------------------
+    def _cell(self, position: Position) -> Cell:
+        size = self._cell_size
+        return (math.floor(position[0] / size), math.floor(position[1] / size))
+
+    def _index_add(self, node_id: NodeId, position: Position) -> None:
+        cell = self._cell(position)
+        self._cells.setdefault(cell, set()).add(node_id)
+        self._cell_of[node_id] = cell
+        self._order[node_id] = next(self._order_counter)
+
+    def _index_remove(self, node_id: NodeId) -> None:
+        cell = self._cell_of.pop(node_id)
+        bucket = self._cells[cell]
+        bucket.discard(node_id)
+        if not bucket:
+            del self._cells[cell]
+        del self._order[node_id]
+
+    def _index_move(self, node_id: NodeId, position: Position) -> None:
+        old = self._cell_of[node_id]
+        new = self._cell(position)
+        if new == old:
+            return
+        bucket = self._cells[old]
+        bucket.discard(node_id)
+        if not bucket:
+            del self._cells[old]
+        self._cells.setdefault(new, set()).add(node_id)
+        self._cell_of[node_id] = new
+
+    def _candidates(self, position: Position, radius: float) -> Iterable[NodeId]:
+        """Ids in every cell overlapping the disk (a superset of the disk)."""
+        size = self._cell_size
+        x, y = position
+        cx0 = math.floor((x - radius) / size)
+        cx1 = math.floor((x + radius) / size)
+        cy0 = math.floor((y - radius) / size)
+        cy1 = math.floor((y + radius) / size)
+        cells = self._cells
+        for cx in range(cx0, cx1 + 1):
+            for cy in range(cy0, cy1 + 1):
+                bucket = cells.get((cx, cy))
+                if bucket:
+                    yield from bucket
+
+    # ------------------------------------------------------------------
+    # Cache maintenance
+    # ------------------------------------------------------------------
+    def _cache_store(self, radius: float, node_id: NodeId, result: List[NodeId]) -> None:
+        per_radius = self._range_cache.get(radius)
+        if per_radius is None:
+            if len(self._range_cache) >= _MAX_CACHED_RADII:
+                self._range_cache.clear()
+                self._cache_entries = 0
+            per_radius = self._range_cache[radius] = {}
+        if self._cache_entries >= _MAX_CACHED_ENTRIES:
+            for entries in self._range_cache.values():
+                entries.clear()
+            self._cache_entries = 0
+        per_radius[node_id] = result
+        self._cache_entries += 1
+
+    def _evict_near(self, positions: Tuple[Position, ...], node_id: NodeId) -> None:
+        """Incremental invalidation: drop entries whose result may change.
+
+        A cached ``(other, radius)`` entry is stale only if ``node_id``'s
+        membership in the ``radius``-disk around ``other`` may have changed,
+        i.e. ``other`` lies within ``radius`` of one of ``positions`` (the
+        moved node's old/new spot).  The grid gives a cheap superset of
+        those nodes; evicting the superset is conservative and keeps every
+        surviving entry exact.
+        """
+        for radius, entries in self._range_cache.items():
+            if not entries:
+                continue
+            if entries.pop(node_id, None) is not None:
+                self._cache_entries -= 1
+            for position in positions:
+                for other in self._candidates(position, radius):
+                    if entries.pop(other, None) is not None:
+                        self._cache_entries -= 1
 
     # ------------------------------------------------------------------
     def add_node(self, node_id: NodeId, position: Position) -> None:
@@ -44,22 +155,31 @@ class Topology:
         """
         if node_id in self._positions:
             raise TopologyError(f"node {node_id} already in topology")
-        self._positions[node_id] = (float(position[0]), float(position[1]))
-        self._invalidate()
+        position = (float(position[0]), float(position[1]))
+        self._positions[node_id] = position
+        self._index_add(node_id, position)
+        self.version += 1
+        self._evict_near((position,), node_id)
 
     def remove_node(self, node_id: NodeId) -> None:
         """Remove a node (e.g. user left the area)."""
-        if node_id not in self._positions:
+        position = self._positions.pop(node_id, None)
+        if position is None:
             raise TopologyError(f"node {node_id} not in topology")
-        del self._positions[node_id]
-        self._invalidate()
+        self._index_remove(node_id)
+        self.version += 1
+        self._evict_near((position,), node_id)
 
     def move(self, node_id: NodeId, position: Position) -> None:
         """Update a node's position."""
-        if node_id not in self._positions:
+        old = self._positions.get(node_id)
+        if old is None:
             raise TopologyError(f"node {node_id} not in topology")
-        self._positions[node_id] = (float(position[0]), float(position[1]))
-        self._invalidate()
+        position = (float(position[0]), float(position[1]))
+        self._positions[node_id] = position
+        self._index_move(node_id, position)
+        self.version += 1
+        self._evict_near((old, position), node_id)
 
     # ------------------------------------------------------------------
     def __contains__(self, node_id: NodeId) -> bool:
@@ -89,29 +209,54 @@ class Topology:
         """Whether ``a`` and ``b`` can hear each other (a != b)."""
         if a == b:
             return False
-        if a not in self._positions or b not in self._positions:
+        positions = self._positions
+        pa = positions.get(a)
+        pb = positions.get(b)
+        if pa is None or pb is None:
             return False
-        return self.distance(a, b) <= self.radio_range
+        return math.hypot(pa[0] - pb[0], pa[1] - pb[1]) <= self.radio_range
+
+    def within(self, a: NodeId, b: NodeId, radius: float) -> bool:
+        """Whether ``a`` and ``b`` are both present and within ``radius``.
+
+        Like :meth:`in_range` with a caller-chosen radius (e.g. the
+        carrier-sense range); absent nodes are never within any radius.
+        """
+        positions = self._positions
+        pa = positions.get(a)
+        pb = positions.get(b)
+        if pa is None or pb is None:
+            return False
+        return math.hypot(pa[0] - pb[0], pa[1] - pb[1]) <= radius
 
     def nodes_within(self, node_id: NodeId, radius: float) -> List[NodeId]:
-        """All other nodes within ``radius`` of ``node_id`` (cached).
+        """All other nodes within ``radius`` of ``node_id``.
 
-        The cache is invalidated by any topology mutation, so static
-        scenarios pay the O(N) scan once per node.
+        Served from the spatial index (and a per-``(node, radius)`` memo
+        with incremental invalidation under mobility).  The returned list
+        is the caller's to keep and mutate; element order is node insertion
+        order, identical to a brute-force scan of the position dict.
         """
         if node_id not in self._positions:
             return []
-        key = (node_id, radius)
-        cached = self._range_cache.get(key)
-        if cached is not None:
-            return cached
+        per_radius = self._range_cache.get(radius)
+        if per_radius is not None:
+            cached = per_radius.get(node_id)
+            if cached is not None:
+                return cached.copy()
         x, y = self._positions[node_id]
+        positions = self._positions
         result = []
-        for other, (ox, oy) in self._positions.items():
-            if other != node_id and math.hypot(x - ox, y - oy) <= radius:
+        for other in self._candidates((x, y), radius):
+            if other == node_id:
+                continue
+            ox, oy = positions[other]
+            if math.hypot(x - ox, y - oy) <= radius:
                 result.append(other)
-        self._range_cache[key] = result
-        return result
+        order = self._order
+        result.sort(key=order.__getitem__)
+        self._cache_store(radius, node_id, result)
+        return result.copy()
 
     def neighbors(self, node_id: NodeId) -> List[NodeId]:
         """All nodes within radio range of ``node_id``."""

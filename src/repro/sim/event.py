@@ -4,13 +4,22 @@ The queue is a binary heap keyed on ``(time, priority, sequence)``.  The
 monotonically increasing sequence number guarantees a stable FIFO order for
 events scheduled at the same instant with the same priority, which keeps
 simulations fully deterministic for a given seed.
+
+Cancellation is *lazy*: a cancelled event stays in the heap until popped,
+but the queue's length accounting tracks only live events.  Every event
+holds a back-reference to its queue, so :meth:`Event.cancel` keeps the
+accounting exact no matter which of the two cancellation entry points
+(``event.cancel()`` or ``queue.cancel(event)``) a caller uses, and
+cancelling an event that already fired (or was cleared) is a no-op — it
+must not deflate the live count.  ``Simulator.peak_queue_depth`` reads
+``len(queue)``, so this accounting is what keeps the reported peak free of
+cancelled-but-unpopped ghosts.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
@@ -19,24 +28,62 @@ from repro.errors import SimulationError
 DEFAULT_PRIORITY = 0
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
-    Events compare by ``(time, priority, sequence)`` so they can live directly
-    in a heap.  The callback and its arguments are excluded from ordering.
+    Events compare by ``(time, priority, sequence)`` so they can live
+    directly in a heap.  The callback and its arguments are excluded from
+    ordering.  A plain slotted class (not a dataclass): ``__lt__`` runs on
+    every heap sift of every schedule/pop, so it must not build tuples of
+    all ordering fields per comparison.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "sequence", "callback", "args", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        #: The queue currently holding this event (None once popped/cleared).
+        self._queue: Optional["EventQueue"] = None
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.sequence < other.sequence
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(time={self.time}, priority={self.priority}, "
+            f"sequence={self.sequence}, cancelled={self.cancelled})"
+        )
 
     def cancel(self) -> None:
-        """Mark the event so the simulator skips it when popped."""
+        """Mark the event so the simulator skips it when popped.
+
+        Idempotent, and exact about accounting: the owning queue's live
+        count drops only if the event is still pending there.  Cancelling
+        after the event fired (or after ``clear()``) changes nothing.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._active -= 1
 
     @property
     def active(self) -> bool:
@@ -81,6 +128,7 @@ class EventQueue:
             callback=callback,
             args=args,
         )
+        event._queue = self
         heapq.heappush(self._heap, event)
         self._active += 1
         return event
@@ -94,26 +142,28 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                event._queue = None
                 continue
+            event._queue = None
             self._active -= 1
             return event
         raise SimulationError("pop() from an empty event queue")
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously pushed event (idempotent)."""
-        if not event.cancelled:
-            event.cancel()
-            self._active -= 1
+        event.cancel()
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next active event, or ``None`` if empty."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap)._queue = None
         if not self._heap:
             return None
         return self._heap[0].time
 
     def clear(self) -> None:
         """Discard all pending events."""
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
         self._active = 0

@@ -1,0 +1,206 @@
+"""Tests for the ``repro bench`` perf-regression harness."""
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.bench import _check_one, main
+
+
+def run_bench(args):
+    return main(args)
+
+
+# ----------------------------------------------------------------------
+# Check logic
+# ----------------------------------------------------------------------
+def record(**overrides):
+    base = {
+        "wall_s": 1.0,
+        "events": 1000,
+        "peak_queue_depth": 40,
+        "calibration_s": 0.1,
+        "meta": {"digest": "abc123"},
+    }
+    base.update(overrides)
+    return base
+
+
+def test_check_passes_on_identical_results():
+    assert _check_one("x", record(), record(), tolerance=0.25) == []
+
+
+def test_check_flags_counter_drift():
+    failures = _check_one("x", record(events=1001), record(), tolerance=0.25)
+    assert any("events" in failure for failure in failures)
+
+
+def test_check_flags_digest_drift():
+    failures = _check_one(
+        "x", record(meta={"digest": "zzz"}), record(), tolerance=0.25
+    )
+    assert any("digest" in failure for failure in failures)
+
+
+def test_check_flags_wall_regression():
+    failures = _check_one("x", record(wall_s=1.5), record(), tolerance=0.25)
+    assert any("wall-clock" in failure for failure in failures)
+
+
+def test_check_allows_wall_within_tolerance():
+    assert _check_one("x", record(wall_s=1.2), record(), tolerance=0.25) == []
+
+
+def test_check_allows_speedups():
+    assert _check_one("x", record(wall_s=0.1), record(), tolerance=0.25) == []
+
+
+def test_check_normalizes_by_machine_speed():
+    """A 2x-slower machine (per calibration) gets a 2x-scaled budget."""
+    slow_machine = record(wall_s=1.9, calibration_s=0.2)
+    assert _check_one("x", slow_machine, record(), tolerance=0.25) == []
+    too_slow_even_scaled = record(wall_s=2.6, calibration_s=0.2)
+    failures = _check_one("x", too_slow_even_scaled, record(), tolerance=0.25)
+    assert any("wall-clock" in failure for failure in failures)
+
+
+def test_check_skips_wall_gate_below_noise_floor():
+    tiny = record(wall_s=bench.MIN_GATED_WALL_S / 10)
+    assert _check_one("x", record(wall_s=5.0), tiny, tolerance=0.25) == []
+
+
+# ----------------------------------------------------------------------
+# CLI end to end (micro benchmarks only: fast)
+# ----------------------------------------------------------------------
+def test_bench_writes_schema_and_baseline_roundtrip(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    out_dir = tmp_path / "out"
+    assert (
+        run_bench(
+            [
+                "bloom_ops",
+                "--quick",
+                "--out-dir",
+                str(out_dir),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    result = json.loads((out_dir / "BENCH_bloom_ops.json").read_text())
+    for field in (
+        "schema",
+        "name",
+        "quick",
+        "wall_s",
+        "events",
+        "events_per_sec",
+        "peak_queue_depth",
+        "calibration_s",
+        "meta",
+    ):
+        assert field in result
+    assert result["name"] == "bloom_ops"
+    assert result["quick"] is True
+    assert result["events"] > 0
+    assert result["meta"]["digest"]
+
+    saved = json.loads(baseline.read_text())
+    assert saved["quick"]["bloom_ops"]["events"] == result["events"]
+
+    # Re-running against the fresh baseline passes the gate.
+    assert (
+        run_bench(
+            [
+                "bloom_ops",
+                "--quick",
+                "--check",
+                "--out-dir",
+                str(out_dir),
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        == 0
+    )
+    assert "perf check passed" in capsys.readouterr().out
+
+
+def test_bench_check_fails_on_doctored_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    out_dir = tmp_path / "out"
+    run_bench(
+        [
+            "spatial_index",
+            "--quick",
+            "--out-dir",
+            str(out_dir),
+            "--baseline",
+            str(baseline),
+            "--update-baseline",
+        ]
+    )
+    doctored = json.loads(baseline.read_text())
+    doctored["quick"]["spatial_index"]["events"] += 1
+    baseline.write_text(json.dumps(doctored))
+    assert (
+        run_bench(
+            [
+                "spatial_index",
+                "--quick",
+                "--check",
+                "--out-dir",
+                str(out_dir),
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        == 1
+    )
+    assert "deterministic counter" in capsys.readouterr().err
+
+
+def test_bench_check_without_baseline_errors(tmp_path):
+    assert (
+        run_bench(
+            [
+                "bloom_ops",
+                "--quick",
+                "--check",
+                "--out-dir",
+                str(tmp_path),
+                "--baseline",
+                str(tmp_path / "missing.json"),
+            ]
+        )
+        == 2
+    )
+
+
+def test_bench_rejects_unknown_names(tmp_path):
+    assert run_bench(["nope", "--out-dir", str(tmp_path)]) == 2
+
+
+def test_bench_list(capsys):
+    assert run_bench(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("bloom_ops", "spatial_index", "mobility_pdd", "round_params"):
+        assert name in out
+
+
+def test_cli_dispatches_bench_subcommand(tmp_path, capsys):
+    from repro.cli import main as cli_main
+
+    assert cli_main(["bench", "--list"]) == 0
+    assert "bloom_ops" in capsys.readouterr().out
+
+
+def test_tolerance_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "0.9")
+    assert bench._resolve_tolerance(None) == pytest.approx(0.9)
+    assert bench._resolve_tolerance(0.1) == pytest.approx(0.1)
+    monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "junk")
+    assert bench._resolve_tolerance(None) == bench.DEFAULT_TOLERANCE

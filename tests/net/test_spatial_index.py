@@ -1,0 +1,109 @@
+"""Regression tests for the spatial neighbor index and its range cache."""
+
+import math
+
+from repro.net import topology as topology_module
+from repro.net.topology import Topology
+
+
+def brute_force_within(topo, node_id, radius):
+    """The pre-index semantics: scan positions in insertion order."""
+    ox, oy = topo.position(node_id)
+    return [
+        other
+        for other in topo.nodes()
+        if other != node_id
+        and math.hypot(topo.position(other)[0] - ox, topo.position(other)[1] - oy)
+        <= radius
+    ]
+
+
+def make_cluster():
+    topo = Topology(10.0)
+    topo.add_node(1, (0, 0))
+    topo.add_node(2, (5, 0))
+    topo.add_node(3, (0, 8))
+    topo.add_node(4, (50, 50))
+    return topo
+
+
+def test_neighbors_matches_brute_force():
+    topo = make_cluster()
+    for node in topo.nodes():
+        assert topo.neighbors(node) == brute_force_within(topo, node, 10.0)
+
+
+def test_cached_result_is_not_aliased():
+    """Mutating a returned neighbor list must not poison the cache."""
+    topo = make_cluster()
+    first = topo.neighbors(1)
+    first.append(999)
+    first.sort()
+    assert topo.neighbors(1) == brute_force_within(topo, 1, 10.0)
+    assert 999 not in topo.neighbors(1)
+
+
+def test_move_invalidates_stale_neighbors():
+    """A cached neighbor list must not survive the neighbor moving away."""
+    topo = make_cluster()
+    assert 2 in topo.neighbors(1)
+    topo.move(2, (100, 100))
+    assert 2 not in topo.neighbors(1)
+    assert topo.neighbors(1) == brute_force_within(topo, 1, 10.0)
+    topo.move(2, (1, 1))
+    assert 2 in topo.neighbors(1)
+
+
+def test_mover_sees_new_neighborhood():
+    topo = make_cluster()
+    assert topo.neighbors(4) == []
+    topo.move(4, (2, 2))
+    assert topo.neighbors(4) == brute_force_within(topo, 4, 10.0)
+    assert set(topo.neighbors(4)) == {1, 2, 3}
+
+
+def test_remove_node_purges_it_from_answers():
+    topo = make_cluster()
+    assert 2 in topo.neighbors(1)
+    topo.remove_node(2)
+    assert 2 not in topo.neighbors(1)
+    assert topo.neighbors(1) == brute_force_within(topo, 1, 10.0)
+
+
+def test_nodes_within_custom_radius_tracks_mobility():
+    topo = make_cluster()
+    assert 4 in topo.nodes_within(1, 100.0)
+    topo.move(4, (500, 500))
+    assert 4 not in topo.nodes_within(1, 100.0)
+    assert topo.nodes_within(1, 100.0) == brute_force_within(topo, 1, 100.0)
+
+
+def test_readd_after_remove_appends_in_insertion_order():
+    """Result ordering is node insertion order, as the brute-force scan had."""
+    topo = make_cluster()
+    topo.remove_node(2)
+    topo.add_node(2, (5, 0))
+    assert topo.neighbors(1) == brute_force_within(topo, 1, 10.0)
+    assert topo.neighbors(1)[-1] == 2
+
+
+def test_cache_memory_stays_bounded_under_churn():
+    """Many distinct radii / movers must not grow the memo without bound."""
+    topo = Topology(10.0)
+    for node in range(30):
+        topo.add_node(node, (node * 3.0, 0.0))
+    for step in range(500):
+        radius = 5.0 + (step % 40)
+        topo.nodes_within(step % 30, radius)
+        topo.move(step % 30, ((step * 7) % 90, (step * 3) % 90))
+    assert len(topo._range_cache) <= topology_module._MAX_CACHED_RADII
+    total = sum(len(per) for per in topo._range_cache.values())
+    assert total <= topology_module._MAX_CACHED_ENTRIES
+
+
+def test_within_predicate():
+    topo = make_cluster()
+    assert topo.within(1, 2, 5.0)
+    assert not topo.within(1, 2, 4.9)
+    assert not topo.within(1, 999, 1000.0)
+    assert not topo.within(999, 1, 1000.0)

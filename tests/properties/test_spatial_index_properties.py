@@ -1,0 +1,99 @@
+"""The spatial index must be observationally identical to a brute-force
+scan of the position dict — including result *ordering* — under any
+interleaving of joins, leaves, waypoint moves and range queries."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.topology import Topology
+
+RADIO_RANGE = 25.0
+QUERY_RADII = (25.0, 60.0)
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "move", "query"]),
+        st.integers(min_value=0, max_value=11),
+        st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+    ),
+    max_size=120,
+)
+
+
+class BruteForce:
+    """The old O(N)-scan semantics, insertion-ordered like a dict."""
+
+    def __init__(self):
+        self.positions = {}
+
+    def nodes_within(self, node_id, radius):
+        ox, oy = self.positions[node_id]
+        return [
+            other
+            for other, (x, y) in self.positions.items()
+            if other != node_id and math.hypot(x - ox, y - oy) <= radius
+        ]
+
+
+@given(ops)
+@settings(max_examples=60, deadline=None)
+def test_index_matches_brute_force_under_mobility(batch):
+    topo = Topology(RADIO_RANGE)
+    ref = BruteForce()
+    for op, node, x, y in batch:
+        present = node in ref.positions
+        if op == "add":
+            if present:
+                continue
+            topo.add_node(node, (x, y))
+            ref.positions[node] = (x, y)
+        elif op == "remove":
+            if not present:
+                continue
+            topo.remove_node(node)
+            del ref.positions[node]
+        elif op == "move":
+            if not present:
+                continue
+            topo.move(node, (x, y))
+            ref.positions[node] = (x, y)
+        else:
+            for probe in ref.positions:
+                assert topo.neighbors(probe) == ref.nodes_within(
+                    probe, RADIO_RANGE
+                )
+                for radius in QUERY_RADII:
+                    assert topo.nodes_within(probe, radius) == ref.nodes_within(
+                        probe, radius
+                    )
+    # Final state always agrees, even if the batch never issued a query.
+    for probe in ref.positions:
+        assert topo.neighbors(probe) == ref.nodes_within(probe, RADIO_RANGE)
+
+
+@given(ops)
+@settings(max_examples=30, deadline=None)
+def test_query_results_survive_caller_mutation(batch):
+    """Returned lists are the caller's; mutating them must not corrupt
+    subsequent answers (the `_range_cache` alias-poisoning hazard)."""
+    topo = Topology(RADIO_RANGE)
+    ref = BruteForce()
+    for op, node, x, y in batch:
+        present = node in ref.positions
+        if op == "add" and not present:
+            topo.add_node(node, (x, y))
+            ref.positions[node] = (x, y)
+        elif op == "move" and present:
+            topo.move(node, (x, y))
+            ref.positions[node] = (x, y)
+        elif op == "query":
+            for probe in ref.positions:
+                result = topo.nodes_within(probe, RADIO_RANGE)
+                result.clear()
+                result.append(-1)
+                assert topo.neighbors(probe) == ref.nodes_within(
+                    probe, RADIO_RANGE
+                )
