@@ -213,6 +213,7 @@ def bench_spatial_index(quick: bool) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 def _profiled_figure(run: Callable[[], object]) -> Dict[str, object]:
     from repro.obs.profile import RunProfiler
+    from repro.obs.recorder import configured_recording
 
     profiler = RunProfiler()
     with _single_process(), profiler.activate():
@@ -220,14 +221,21 @@ def _profiled_figure(run: Callable[[], object]) -> Dict[str, object]:
         rows = run()
         wall = time.perf_counter() - start
     summary = profiler.summary()
+    meta: Dict[str, object] = {
+        "runs": int(summary["runs"]),
+        "digest": _digest(json.loads(json.dumps(rows))),
+    }
+    if configured_recording() is not None:
+        # Flight-recorder sampling adds its own simulator events, so the
+        # event counters legitimately differ from an unrecorded baseline.
+        # The digest is NOT exempted: result rows must stay bit-identical
+        # with the recorder on (the zero-perturbation contract).
+        meta["recorded"] = True
     return _result(
         wall,
         events=int(summary["events"]),
         peak_queue_depth=int(summary["peak_queue_depth"]),
-        meta={
-            "runs": int(summary["runs"]),
-            "digest": _digest(json.loads(json.dumps(rows))),
-        },
+        meta=meta,
     )
 
 
@@ -284,12 +292,20 @@ def _check_one(
 ) -> List[str]:
     """Failure messages for one benchmark vs its baseline entry."""
     failures: List[str] = []
-    for field in ("events", "peak_queue_depth"):
-        if current[field] != baseline.get(field):
-            failures.append(
-                f"{name}: deterministic counter {field!r} changed: "
-                f"baseline {baseline.get(field)} != current {current[field]}"
-            )
+    recorder_mismatch = bool(
+        (current.get("meta") or {}).get("recorded")
+    ) != bool((baseline.get("meta") or {}).get("recorded"))
+    if not recorder_mismatch:
+        # With the flight recorder enabled on only one side, its sampling
+        # events make the raw counters incomparable; the digest below
+        # still gates bit-identical results, and wall time still gates
+        # the recorder's overhead budget.
+        for field in ("events", "peak_queue_depth"):
+            if current[field] != baseline.get(field):
+                failures.append(
+                    f"{name}: deterministic counter {field!r} changed: "
+                    f"baseline {baseline.get(field)} != current {current[field]}"
+                )
     base_digest = (baseline.get("meta") or {}).get("digest")
     cur_digest = (current.get("meta") or {}).get("digest")
     if base_digest != cur_digest:

@@ -15,6 +15,13 @@ Observability::
                                              # profile after the tables
     python -m repro inspect out.jsonl        # summarize a trace file
     python -m repro bench --quick --check    # perf-regression gate
+
+Flight recorder::
+
+    python -m repro fig4 --timeline tl.jsonl   # record protocol state
+    python -m repro inspect tl.jsonl --timeline        # sparkline views
+    python -m repro inspect tl.jsonl --at 12.5         # state at t=12.5s
+    python -m repro inspect tl.jsonl --diff 5 20       # what changed
 """
 
 from __future__ import annotations
@@ -81,6 +88,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile the run (wall time, events/sec, peak queue depth)",
     )
     parser.add_argument(
+        "--timeline",
+        metavar="FILE",
+        nargs="?",
+        const=True,
+        default=None,
+        help="figure runs: record a flight-recorder timeline to FILE "
+        "(bare --timeline records in memory, attaching summary columns "
+        "only; with --jobs N>1, per-worker shards FILE.0, ...); "
+        "inspect: render per-node sparkline views of a timeline file",
+    )
+    parser.add_argument(
+        "--timeline-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sim seconds between timeline samples (default: 1.0)",
+    )
+    parser.add_argument(
+        "--keyframe-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="write a full keyframe every K timeline samples (default: 10)",
+    )
+    parser.add_argument(
+        "--at",
+        type=float,
+        default=None,
+        metavar="T",
+        help="inspect: reconstruct exact network state at sim time T "
+        "from the nearest timeline keyframe plus deltas",
+    )
+    parser.add_argument(
+        "--diff",
+        type=float,
+        nargs=2,
+        default=None,
+        metavar=("T1", "T2"),
+        help="inspect: show timeline state entries added/removed/"
+        "rewritten between sim times T1 and T2",
+    )
+    parser.add_argument(
+        "--series",
+        default=None,
+        metavar="NAMES",
+        help="inspect --timeline: comma-separated series to render "
+        "(lqt, cdi, meta, chunks, bytes, sendq, radioq, retx)",
+    )
+    parser.add_argument(
         "--top-nodes",
         type=int,
         default=10,
@@ -113,6 +169,11 @@ def _run_figures(args: argparse.Namespace) -> int:
     from repro.experiments.runner import configured_jobs
     from repro.obs.metrics import MetricsRegistry, collect_registries
     from repro.obs.profile import RunProfiler
+    from repro.obs.recorder import (
+        DEFAULT_INTERVAL_S,
+        DEFAULT_KEYFRAME_EVERY,
+        recording,
+    )
     from repro.obs.trace import JsonlSink, global_sink
 
     if args.figure != "all" and args.figure not in REGISTRY:
@@ -132,6 +193,27 @@ def _run_figures(args: argparse.Namespace) -> int:
                 print(f"cannot write trace file {args.trace}: {exc}", file=sys.stderr)
                 return 2
             stack.enter_context(global_sink(sink))
+        if args.timeline:
+            timeline_path = (
+                args.timeline if isinstance(args.timeline, str) else None
+            )
+            interval = (
+                args.timeline_interval
+                if args.timeline_interval is not None
+                else DEFAULT_INTERVAL_S
+            )
+            keyframe = (
+                args.keyframe_every
+                if args.keyframe_every is not None
+                else DEFAULT_KEYFRAME_EVERY
+            )
+            stack.enter_context(
+                recording(
+                    path=timeline_path,
+                    interval_s=interval,
+                    keyframe_every=keyframe,
+                )
+            )
         if profiler is not None:
             stack.enter_context(profiler.activate())
             registries = stack.enter_context(collect_registries())
@@ -150,6 +232,14 @@ def _run_figures(args: argparse.Namespace) -> int:
             )
         else:
             print(f"trace written to {args.trace}", file=sys.stderr)
+    if isinstance(args.timeline, str):
+        if configured_jobs() > 1:
+            print(
+                f"timeline written to per-worker shards next to {args.timeline}",
+                file=sys.stderr,
+            )
+        else:
+            print(f"timeline written to {args.timeline}", file=sys.stderr)
     if profiler is not None:
         print()
         print(profiler.render())
@@ -195,6 +285,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.path:
             print("inspect needs a trace file: repro inspect out.jsonl", file=sys.stderr)
             return 2
+        if args.timeline or args.at is not None or args.diff:
+            # Timeline mode: the path names a flight-recorder file.
+            from repro.obs.timeline import inspect_timeline
+
+            series = (
+                [name.strip() for name in args.series.split(",") if name.strip()]
+                if args.series
+                else None
+            )
+            try:
+                code, text = inspect_timeline(
+                    args.path,
+                    timeline=bool(args.timeline),
+                    at=args.at,
+                    diff=args.diff,
+                    series=series,
+                    top_nodes=args.top_nodes,
+                    as_json=args.as_json,
+                )
+            except FileNotFoundError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            print(text)
+            return code
         from repro.obs.inspect import inspect_path
 
         try:

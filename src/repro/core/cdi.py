@@ -126,3 +126,23 @@ class CdiTable:
     def clear(self) -> None:
         """Forget all routing state."""
         self._entries.clear()
+
+    def observe_state(self) -> Dict[str, object]:
+        """Flight-recorder view: live entry count + per-chunk best hop.
+
+        Strictly read-only — expired entries are filtered, not dropped,
+        so sampling never mutates routing state.  Keys use the same
+        ``<item-hex12>:<chunk_id>`` form as the retrieval trace events.
+        """
+        now = self._clock()
+        size = 0
+        best: Dict[str, int] = {}
+        for item, chunk_map in self._entries.items():
+            prefix = item.stable_key().hex()[:12]
+            for chunk_id, entries in chunk_map.items():
+                live = [e for e in entries if not e.expired(now)]
+                if not live:
+                    continue
+                size += len(live)
+                best[f"{prefix}:{chunk_id}"] = min(e.hop_count for e in live)
+        return {"size": size, "best": best}

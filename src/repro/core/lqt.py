@@ -113,6 +113,20 @@ class LingeringQueryTable:
             self._emit("lqt_expire", qid, self._entries[qid])
             del self._entries[qid]
 
+    def observe_state(self) -> Dict[str, float]:
+        """Flight-recorder view: ``{query_id: expires_at}`` of live entries.
+
+        Strictly read-only — no lazy purge, no trace emission — so
+        sampling a run cannot perturb it.  Expired-but-unpurged entries
+        are filtered out of the view rather than deleted.
+        """
+        now = self._clock()
+        return {
+            str(qid): entry.expires_at
+            for qid, entry in self._entries.items()
+            if not entry.expired(now)
+        }
+
 
 class RecentResponses:
     """The received-response-id set of Algorithm 2's RR Lookup.

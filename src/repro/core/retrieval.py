@@ -51,6 +51,10 @@ class CdiEngine:
         )
         self.recent = RecentResponses()
 
+    def observe_state(self) -> dict:
+        """Flight-recorder view: live lingering CDI queries (read-only)."""
+        return self.lqt.observe_state()
+
     # ------------------------------------------------------------------
     def issue_query(
         self, item: DataDescriptor, ttl: Optional[float] = None
@@ -281,6 +285,10 @@ class ChunkEngine:
             node=device.node_id,
         )
         self.recent = RecentResponses()
+
+    def observe_state(self) -> dict:
+        """Flight-recorder view: live lingering chunk queries (read-only)."""
+        return self.lqt.observe_state()
 
     def _emit_assignment(
         self,

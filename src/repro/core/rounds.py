@@ -97,6 +97,9 @@ class RoundController:
                 round=self.round_index,
                 window=self.config.window_s,
             )
+        recorder = self.sim.recorder
+        if recorder is not None:
+            recorder.on_round_boundary("round_begin", self.round_index)
         return self.round_index
 
     def record_response(self) -> None:
@@ -147,4 +150,7 @@ class RoundController:
                     duration=duration,
                     window=self.config.window_s,
                 )
+            recorder = self.sim.recorder
+            if recorder is not None:
+                recorder.on_round_boundary("round_end", self.round_index)
             self.on_round_end()

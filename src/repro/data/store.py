@@ -181,3 +181,17 @@ class DataStore:
     def stored_bytes(self) -> int:
         """Total payload bytes held (for storage accounting)."""
         return sum(chunk.size for chunk in self._chunks.values())
+
+    def observe_state(self) -> Dict[str, int]:
+        """Flight-recorder view: raw occupancy counters, O(chunks).
+
+        Strictly read-only (no lazy purge) and cheap: ``metadata`` is the
+        raw table length — it may include expired-but-unpurged entries,
+        which is the honest answer to "how much memory does this table
+        hold right now".
+        """
+        return {
+            "metadata": len(self._metadata),
+            "chunks": len(self._chunks),
+            "bytes": self.stored_bytes(),
+        }

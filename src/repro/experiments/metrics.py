@@ -75,6 +75,12 @@ class AggregateMetrics:
     audit: Tuple[Tuple[str, int], ...] = ()
     #: How many trials carried an audit summary at all.
     audited_trials: int = 0
+    #: Flight-recorder series stats folded over trials carrying an
+    #: ``extras["timeline"]`` summary (recorded trials only):
+    #: ``(peak_lqt, cdi_conv_s, airtime_util)``.
+    timeline: Tuple[Tuple[str, float], ...] = ()
+    #: How many trials carried a timeline summary at all.
+    timeline_trials: int = 0
 
     @classmethod
     def from_trials(
@@ -108,6 +114,22 @@ class AggregateMetrics:
             audited += 1
             for invariant, count in trial_metrics.extras["audit"].items():
                 audit[invariant] = audit.get(invariant, 0) + int(count)
+        timelines = [
+            t.extras["timeline"] for t in trials if "timeline" in t.extras
+        ]
+        timeline: Tuple[Tuple[str, float], ...] = ()
+        if timelines:
+            timeline = (
+                ("peak_lqt", max(int(s.get("peak_lqt", 0)) for s in timelines)),
+                (
+                    "cdi_conv_s",
+                    _mean([float(s.get("cdi_conv_s", 0.0)) for s in timelines]),
+                ),
+                (
+                    "airtime_util",
+                    _mean([float(s.get("airtime_util", 0.0)) for s in timelines]),
+                ),
+            )
         return cls(
             recall_mean=_mean(recalls),
             recall_std=_std(recalls),
@@ -120,6 +142,8 @@ class AggregateMetrics:
             failures=tuple(failures),
             audit=tuple(sorted(audit.items())),
             audited_trials=audited,
+            timeline=timeline,
+            timeline_trials=len(timelines),
         )
 
     def as_row(self) -> Dict[str, float]:
@@ -144,6 +168,14 @@ class AggregateMetrics:
             for invariant, count in self.audit:
                 if count:
                     row[f"audit_{invariant}"] = count
+        if self.timeline_trials:
+            for name, value in self.timeline:
+                if name == "peak_lqt":
+                    row[name] = int(value)
+                elif name == "airtime_util":
+                    row[name] = round(value, 4)
+                else:
+                    row[name] = round(value, 2)
         return row
 
 

@@ -61,6 +61,7 @@ from typing import (
 
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments.metrics import AggregateMetrics, TrialFailure, TrialMetrics
+from repro.obs import recorder as obs_recorder
 from repro.obs import trace as obs_trace
 from repro.obs.audit import audit_extras
 from repro.obs.metrics import MetricsRegistry, _clear_collectors, collect_registries
@@ -188,14 +189,20 @@ def configured_trial_timeout(default: Optional[float] = None) -> Optional[float]
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
-def _worker_init(shard_bases: Sequence[str], shard_counter: Any) -> None:
+def _worker_init(
+    shard_bases: Sequence[str],
+    shard_counter: Any,
+    timeline_shards: bool = False,
+) -> None:
     """Per-worker-process setup.
 
     Forked workers inherit the parent's process-wide observability state:
     global trace sinks (whose file handles are shared with the parent),
-    the active profiler, and open registry collectors.  All of it belongs
-    to the parent, so drop it — workers report back through their return
-    values instead — then open this worker's own JSONL trace shards.
+    the active profiler, open registry collectors, and open recorder
+    collectors.  All of it belongs to the parent, so drop it — workers
+    report back through their return values instead — then open this
+    worker's own JSONL trace shards and re-point any configured timeline
+    recording at this worker's shard.
     """
     for sink in obs_trace.global_sinks():
         # Remove without closing: under fork the file object is shared
@@ -203,7 +210,8 @@ def _worker_init(shard_bases: Sequence[str], shard_counter: Any) -> None:
         obs_trace.remove_global_sink(sink)
     _clear_active()
     _clear_collectors()
-    if shard_bases:
+    obs_recorder._clear_recorder_collectors()
+    if shard_bases or timeline_shards:
         with shard_counter.get_lock():
             index = shard_counter.value
             shard_counter.value += 1
@@ -213,32 +221,50 @@ def _worker_init(shard_bases: Sequence[str], shard_counter: Any) -> None:
             obs_trace.install_global_sink(sink)
             # Workers exit through os._exit (multiprocessing skips normal
             # interpreter shutdown), so buffered tail events would be lost
-            # without an explicit finalizer.
+            # without an explicit finalizer.  (TimelineWriter registers its
+            # own finalizer when the recording opens its shard.)
             multiprocessing.util.Finalize(sink, sink.close, exitpriority=10)
+        if timeline_shards:
+            obs_recorder.reshard_for_worker(index)
 
 
 def _audited_call(trial: Callable[..., Any], args: Tuple[Any, ...]) -> Any:
-    """Run one trial; in traced campaigns, audit its events on the fly.
+    """Run one trial; wire tracing/recording summaries into its extras.
 
     When a process-wide trace sink is active (CLI ``--trace``), the
     trial's events are also captured in memory and run through the
     :mod:`repro.obs.audit` invariants; the per-invariant violation counts
     land in ``TrialMetrics.extras["audit"]`` so they surface as
     ``violations`` / ``audit_<invariant>`` columns in the figure tables.
-    Untraced campaigns skip all of this (no capture, no audit).
+    When a timeline recording is configured (``timeline=`` knob, CLI
+    ``--timeline`` or ``REPRO_TIMELINE``), the flight recorders the
+    trial's scenarios attach are collected and their merged series summary
+    lands in ``TrialMetrics.extras["timeline"]``.  Campaigns with neither
+    skip all of this.
     """
-    if not obs_trace.global_sinks():
+    tracing = bool(obs_trace.global_sinks())
+    recording = obs_recorder.configured_recording() is not None
+    if not tracing and not recording:
         return trial(*args)
-    capture = obs_trace.ListSink()
-    obs_trace.install_global_sink(capture)
+    capture: Optional[obs_trace.ListSink] = None
+    if tracing:
+        capture = obs_trace.ListSink()
+        obs_trace.install_global_sink(capture)
     try:
-        result = trial(*args)
+        with obs_recorder.collect_recorders() as recorders:
+            result = trial(*args)
     finally:
-        obs_trace.remove_global_sink(capture)
+        if capture is not None:
+            obs_trace.remove_global_sink(capture)
     if isinstance(result, TrialMetrics):
-        result.extras["audit"] = audit_extras(
-            [event.to_json_dict() for event in capture.events]
-        )
+        if capture is not None:
+            result.extras["audit"] = audit_extras(
+                [event.to_json_dict() for event in capture.events]
+            )
+        if recorders:
+            result.extras["timeline"] = obs_recorder.merge_summaries(
+                [recorder.summary() for recorder in recorders]
+            )
     return result
 
 
@@ -335,6 +361,25 @@ def _plan_trace_shards(context: Any) -> List[str]:
     return bases
 
 
+def _plan_timeline_shards(context: Any) -> bool:
+    """Whether workers must shard a configured timeline recording.
+
+    Memory-only recordings (no path) still need per-worker recorder
+    collection, but summaries travel back inside the pickled trial
+    results, so they work under any start method.  File-backed timelines
+    shard like trace files and need ``fork``.
+    """
+    config = obs_recorder.configured_recording()
+    if config is None:
+        return False
+    if config.path is not None and context.get_start_method() != "fork":
+        raise ConfigurationError(
+            "per-worker timeline shards need the 'fork' start method; run "
+            "with jobs=1 (--jobs 1) to record a timeline on this platform"
+        )
+    return config.path is not None
+
+
 def _failure_kind(error: BaseException) -> str:
     if isinstance(error, TrialTimeout):
         return "timeout"
@@ -359,7 +404,10 @@ def _execute_parallel(
     """
     context = _pool_context()
     shard_bases = _plan_trace_shards(context)
-    shard_counter = context.Value("i", 0) if shard_bases else None
+    timeline_shards = _plan_timeline_shards(context)
+    shard_counter = (
+        context.Value("i", 0) if (shard_bases or timeline_shards) else None
+    )
     profiler = active_profiler()
     # Created here so it registers with the caller's collector (if any);
     # every worker snapshot is merged into it.
@@ -380,7 +428,7 @@ def _execute_parallel(
                 max_workers=min(jobs, len(group)),
                 mp_context=context,
                 initializer=_worker_init,
-                initargs=(shard_bases, shard_counter),
+                initargs=(shard_bases, shard_counter, timeline_shards),
             ) as pool:
                 futures = {
                     pool.submit(
@@ -425,6 +473,7 @@ def run_trials(
     jobs: Optional[int] = None,
     timeout_s: Optional[float] = None,
     retries: int = 1,
+    timeline: Optional[Any] = None,
 ) -> AggregateMetrics:
     """Run ``trial`` per seed and aggregate.
 
@@ -436,10 +485,23 @@ def run_trials(
     aggregate and the campaign continues.  Results are aggregated in seed
     order either way, so the statistics are identical for both paths.
 
+    ``timeline=True`` records a flight-recorder timeline of every trial
+    in memory; ``timeline="path.jsonl"`` additionally streams it to a
+    JSONL file (per-worker shards with ``jobs>1``, like trace files).
+    Either way the merged series summary (peak LQT size, CDI convergence
+    time, mean airtime utilization) lands on each trial's
+    ``TrialMetrics.extras["timeline"]`` and surfaces as table columns.
+
     When a :class:`repro.obs.profile.RunProfiler` is active (CLI
     ``--metrics``), each trial's simulator runs are labelled with its seed
     so the profile reads per-trial — including trials that ran in workers.
     """
+    if timeline:
+        path = timeline if isinstance(timeline, str) else None
+        with obs_recorder.recording(path=path):
+            return run_trials(
+                trial, seeds=seeds, jobs=jobs, timeout_s=timeout_s, retries=retries
+            )
     if seeds is None:
         seeds = configured_seeds()
     seeds = list(seeds)
@@ -501,6 +563,7 @@ def run_sweep(
     timeout_s: Optional[float] = None,
     retries: int = 1,
     label_fn: Optional[Callable[[Any], str]] = None,
+    timeline: Optional[Any] = None,
 ) -> List[SweepPoint]:
     """Run ``trial(point, seed)`` over a whole (point × seed) grid.
 
@@ -518,7 +581,21 @@ def run_sweep(
 
     ``label_fn(point)`` names each point in profiles and failure records
     (trials are labelled ``"<point-label> seed <seed>"``).
+
+    ``timeline`` behaves exactly as in :func:`run_trials`.
     """
+    if timeline:
+        path = timeline if isinstance(timeline, str) else None
+        with obs_recorder.recording(path=path):
+            return run_sweep(
+                trial,
+                points,
+                seeds=seeds,
+                jobs=jobs,
+                timeout_s=timeout_s,
+                retries=retries,
+                label_fn=label_fn,
+            )
     if seeds is None:
         seeds = configured_seeds()
     seeds = list(seeds)

@@ -31,6 +31,7 @@ from repro.net.topology import (
 )
 from repro.node.config import DeviceConfig
 from repro.node.device import Device
+from repro.obs.recorder import FlightRecorder, configured_recording
 from repro.sim.rng import RngRegistry
 from repro.sim.simulator import Simulator
 
@@ -83,6 +84,27 @@ class Scenario:
         return self.rngs.stream("workload")
 
 
+def _attach_recorder(scenario: Scenario) -> Scenario:
+    """Start a flight recorder on the scenario when recording is configured.
+
+    No-op (and no simulator events scheduled) otherwise — the zero-cost
+    contract for unrecorded runs lives here.
+    """
+    config = configured_recording()
+    if config is not None:
+        recorder = FlightRecorder(
+            scenario.sim,
+            scenario.topology,
+            scenario.medium,
+            scenario.devices,
+            interval_s=config.interval_s,
+            keyframe_every=config.keyframe_every,
+            writer=config.writer(),
+        )
+        scenario.extras["recorder"] = recorder.start()
+    return scenario
+
+
 def _make_device(
     scenario_parts: dict,
     node_id: NodeId,
@@ -132,14 +154,16 @@ def build_grid_scenario(
         picker = rngs.stream("consumers")
         extra = picker.sample(pool, min(n_consumers - 1, len(pool)))
         consumers.extend(extra)
-    return Scenario(
-        sim=sim,
-        topology=topology,
-        medium=medium,
-        devices=devices,
-        consumers=consumers,
-        rngs=rngs,
-        seed=seed,
+    return _attach_recorder(
+        Scenario(
+            sim=sim,
+            topology=topology,
+            medium=medium,
+            devices=devices,
+            consumers=consumers,
+            rngs=rngs,
+            seed=seed,
+        )
     )
 
 
@@ -186,14 +210,16 @@ def build_campus_scenario(
     consumers = picker.sample(
         trace.initial_nodes, min(n_consumers, len(trace.initial_nodes))
     )
-    return Scenario(
-        sim=sim,
-        topology=topology,
-        medium=medium,
-        devices=devices,
-        consumers=consumers,
-        rngs=rngs,
-        seed=seed,
-        trace_player=player,
-        extras={"trace": trace},
+    return _attach_recorder(
+        Scenario(
+            sim=sim,
+            topology=topology,
+            medium=medium,
+            devices=devices,
+            consumers=consumers,
+            rngs=rngs,
+            seed=seed,
+            trace_player=player,
+            extras={"trace": trace},
+        )
     )

@@ -119,6 +119,15 @@ class BroadcastFace:
         self.bucket.flush()
         self.radio.shutdown()
 
+    def observe_state(self) -> dict:
+        """Flight-recorder view: queue depths along the send path."""
+        return {
+            "sendq": self.bucket.queue_length,
+            "sendq_bytes": self.bucket.queued_bytes,
+            "radioq": self.radio.queue_length,
+            "retx": self.sender.pending_count,
+        }
+
     # ------------------------------------------------------------------
     def _submit(self, frame: Frame) -> None:
         if self.use_leaky_bucket:

@@ -164,6 +164,25 @@ class BroadcastMedium:
         self._prune_active()
         return any(tx.sender == node_id for tx in self._active)
 
+    def observe_state(self) -> Dict[str, float]:
+        """Flight-recorder view: channel occupancy, strictly read-only.
+
+        ``airtime_s`` is *cumulative* channel time derived exactly from
+        the existing transmission counters (every frame contributes
+        ``preamble + bits/rate``), so sampling adds no accounting to the
+        :meth:`transmit` hot path; the recorder differentiates it into a
+        per-interval utilization.  ``active_tx`` counts transmissions
+        still on the air without pruning the list.
+        """
+        now = self.sim.now
+        return {
+            "active_tx": sum(1 for tx in self._active if tx.end > now),
+            "airtime_s": (
+                self.stats.frames_sent * self.preamble_s
+                + (self.stats.bytes_sent * 8.0) / self.broadcast_rate_bps
+            ),
+        }
+
     # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------

@@ -121,7 +121,9 @@ class Radio:
         else:
             self._queue.append(frame)
         self._queued_bytes += frame.size
-        self._queue_gauge.set(len(self._queue))
+        # Timestamped set: the gauge integrates depth over sim time, so
+        # snapshots report a time-weighted mean depth, not just the last.
+        self._queue_gauge.set(len(self._queue), now=self.sim.now)
         self._pump()
         return True
 

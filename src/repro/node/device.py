@@ -201,6 +201,26 @@ class Device:
                 listener(payload)
 
     # ------------------------------------------------------------------
+    def observe_state(self) -> dict:
+        """Flight-recorder view of this device's protocol state.
+
+        Composes the strictly read-only ``observe_state()`` views of every
+        table along the stack; sampling a device never purges, emits, or
+        consumes randomness.
+        """
+        return {
+            "lqt": {
+                "disc": self.discovery.lqt.observe_state(),
+                "cdi": self.cdi.observe_state(),
+                "chunk": self.chunks.observe_state(),
+                "mdr": self.mdr.lqt.observe_state(),
+                "pit": self.interest.pit.observe_state(),
+            },
+            "cdi": self.cdi_table.observe_state(),
+            "store": self.store.observe_state(),
+            "face": self.face.observe_state(),
+        }
+
     def leave(self) -> None:
         """The user walks away: tear down the stack (data leaves too)."""
         self.alive = False

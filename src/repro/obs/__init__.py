@@ -16,11 +16,29 @@ per-message-kind summaries (``python -m repro inspect out.jsonl``);
 :mod:`repro.obs.spans` reconstructs per-query/per-chunk span trees from
 the correlation ids stamped on every event; :mod:`repro.obs.audit`
 checks causal protocol invariants over those traces.
+
+:mod:`repro.obs.recorder` is the flight recorder: sim-time sampling of
+per-node protocol state into a keyframe+delta JSONL timeline;
+:mod:`repro.obs.timeline` reconstructs exact state at any sample time
+(``python -m repro inspect tl.jsonl --at 12.5``), diffs instants, and
+renders per-node sparkline series.
 """
 
 from repro.obs.audit import AuditReport, Violation, audit_events, audit_extras
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profile import RunProfiler, RunRecord, active_profiler
+from repro.obs.recorder import (
+    FlightRecorder,
+    RecordingConfig,
+    TimelineWriter,
+    capture_network_state,
+    configured_recording,
+    flatten_state,
+    install_global_recording,
+    recording,
+    remove_global_recording,
+    unflatten_state,
+)
 from repro.obs.spans import (
     QuerySpan,
     SpanForest,
@@ -28,6 +46,16 @@ from repro.obs.spans import (
     build_spans,
     load_trace,
     resolve_trace_paths,
+)
+from repro.obs.timeline import (
+    TimelineError,
+    TimelineLoad,
+    TimelineRun,
+    diff_between,
+    inspect_timeline,
+    load_timeline,
+    reconstruct_at,
+    state_at,
 )
 from repro.obs.trace import (
     JsonlSink,
@@ -44,10 +72,28 @@ from repro.obs.trace import (
 
 __all__ = [
     "AuditReport",
+    "FlightRecorder",
     "QuerySpan",
+    "RecordingConfig",
     "SpanForest",
+    "TimelineError",
+    "TimelineLoad",
+    "TimelineRun",
+    "TimelineWriter",
     "TraceLoad",
     "Violation",
+    "capture_network_state",
+    "configured_recording",
+    "diff_between",
+    "flatten_state",
+    "inspect_timeline",
+    "install_global_recording",
+    "load_timeline",
+    "reconstruct_at",
+    "recording",
+    "remove_global_recording",
+    "state_at",
+    "unflatten_state",
     "audit_events",
     "audit_extras",
     "build_spans",

@@ -63,9 +63,25 @@ class Counter:
 
 
 class Gauge:
-    """A sampled value that remembers its extremes."""
+    """A sampled value that remembers its extremes.
 
-    __slots__ = ("name", "value", "max_value", "min_value", "samples")
+    When callers pass the current (sim) time to :meth:`set`, the gauge
+    also integrates the area under its step curve, so the snapshot can
+    report a *time-weighted mean* — for a queue-depth gauge that is the
+    average depth over the run, where the unweighted last value only says
+    where the queue happened to sit when the run stopped.
+    """
+
+    __slots__ = (
+        "name",
+        "value",
+        "max_value",
+        "min_value",
+        "samples",
+        "area",
+        "elapsed",
+        "_last_set_t",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -73,8 +89,13 @@ class Gauge:
         self.max_value: float = 0.0
         self.min_value: float = 0.0
         self.samples: int = 0
+        #: Integral of value over time (only grows when ``now`` is given).
+        self.area: float = 0.0
+        #: Total time covered by the integral.
+        self.elapsed: float = 0.0
+        self._last_set_t: Optional[float] = None
 
-    def set(self, value: float) -> None:
+    def set(self, value: float, now: Optional[float] = None) -> None:
         if self.samples == 0:
             self.max_value = value
             self.min_value = value
@@ -83,8 +104,19 @@ class Gauge:
                 self.max_value = value
             if value < self.min_value:
                 self.min_value = value
+        if now is not None:
+            if self._last_set_t is not None and now > self._last_set_t:
+                # The *previous* value held from the last set until now.
+                span = now - self._last_set_t
+                self.area += self.value * span
+                self.elapsed += span
+            self._last_set_t = now
         self.value = value
         self.samples += 1
+
+    def time_weighted_mean(self) -> float:
+        """Area under the step curve / covered time (0 when untimed)."""
+        return self.area / self.elapsed if self.elapsed > 0 else 0.0
 
     def reset(self) -> None:
         """Forget all samples in place (holders keep a valid reference)."""
@@ -92,6 +124,9 @@ class Gauge:
         self.max_value = 0.0
         self.min_value = 0.0
         self.samples = 0
+        self.area = 0.0
+        self.elapsed = 0.0
+        self._last_set_t = None
 
     def __repr__(self) -> str:
         return f"Gauge({self.name}={self.value}, max={self.max_value})"
@@ -233,6 +268,9 @@ class MetricsRegistry:
                     "max": gauge.max_value,
                     "min": gauge.min_value,
                     "samples": gauge.samples,
+                    "twm": gauge.time_weighted_mean(),
+                    "area": gauge.area,
+                    "elapsed": gauge.elapsed,
                 }
                 for name, gauge in sorted(self._gauges.items())
             },
@@ -281,6 +319,10 @@ class MetricsRegistry:
                 gauge.min_value = min(gauge.min_value, data["min"])
             gauge.value = data["value"]
             gauge.samples += samples
+            # Time-weighted accumulators add across processes (absent in
+            # legacy snapshots).
+            gauge.area += float(data.get("area", 0.0))
+            gauge.elapsed += float(data.get("elapsed", 0.0))
         for name, data in snapshot.get("histograms", {}).items():
             counts = [
                 int(n) for n in data["buckets"].values()
@@ -322,10 +364,13 @@ class MetricsRegistry:
         if self._gauges:
             lines.append("gauges:")
             for name, gauge in sorted(self._gauges.items()):
-                lines.append(
+                line = (
                     f"  {name:<36s} {gauge.value:g} (min {gauge.min_value:g}, "
-                    f"max {gauge.max_value:g})"
+                    f"max {gauge.max_value:g}"
                 )
+                if gauge.elapsed > 0:
+                    line += f", twm {gauge.time_weighted_mean():g}"
+                lines.append(line + ")")
         if self._histograms:
             lines.append("histograms:")
             for name, hist in sorted(self._histograms.items()):

@@ -1,0 +1,616 @@
+"""The flight recorder: sim-time sampling of protocol state (keyframe+delta).
+
+A :class:`FlightRecorder` rides on one scenario and periodically captures a
+cheap, side-effect-free snapshot of every node's protocol state (LQT
+entries, CDI routes, store occupancy, send/retransmission queues) plus
+network-wide state (active transmissions, cumulative airtime, the
+neighbor-graph degree distribution).  Samples are taken on a configurable
+sim-time interval and *forced* on discovery round boundaries, so the
+recording always contains the instants the protocol pivots on.
+
+Encoding
+--------
+
+Each nested snapshot is flattened to ``\\x1f``-joined path keys ("columnar"
+— one scalar per key).  Every ``keyframe_every``-th sample is written as a
+full **keyframe** (``{"rec": "key", "state": {...}}``); samples in between
+are compact **deltas** (``{"rec": "delta", "set": {...}, "del": [...]}``).
+Records go to a JSONL timeline file that shards per worker exactly like
+trace files (``timeline.0.jsonl``, ...), or stay in memory when no path is
+configured.  :mod:`repro.obs.timeline` reconstructs exact state at any
+sample time from the nearest keyframe plus deltas.
+
+Zero-cost-when-disabled contract
+--------------------------------
+
+With no recording configured nothing is scheduled, no state views are
+taken, and the simulator hot loop is untouched.  With recording enabled the
+sampler only *reads* — every ``observe_state()`` view it calls is
+non-mutating (no lazy purges, no trace emissions, no RNG draws) — so
+result tables stay bit-identical with the recorder on.
+
+Process-wide activation mirrors the trace-sink registry: install a
+:class:`RecordingConfig` via :func:`install_global_recording` (or the
+:func:`recording` context manager, or the ``REPRO_TIMELINE`` /
+``REPRO_TIMELINE_INTERVAL`` / ``REPRO_TIMELINE_KEYFRAME`` environment
+knobs) and every scenario built afterwards attaches a recorder.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import multiprocessing.util
+import os
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Path separator inside flattened state keys (ASCII unit separator: it
+#: cannot collide with node ids, query ids, or hex item keys).
+SEP = "\x1f"
+
+#: Default sim-time seconds between samples.
+DEFAULT_INTERVAL_S = 1.0
+
+#: Default keyframe cadence: every K-th sample is a full snapshot.
+DEFAULT_KEYFRAME_EVERY = 10
+
+
+# ----------------------------------------------------------------------
+# Flat state codec
+# ----------------------------------------------------------------------
+def flatten_state(nested: Dict[str, Any]) -> Dict[str, Any]:
+    """Flatten a nested str-keyed dict to ``SEP``-joined path keys.
+
+    Empty sub-dicts vanish: the flat form is the canonical representation
+    (it carries exactly the scalar leaves), and reconstruction compares
+    flat forms.
+    """
+    flat: Dict[str, Any] = {}
+    stack: List[Tuple[str, Dict[str, Any]]] = [("", nested)]
+    while stack:
+        prefix, mapping = stack.pop()
+        for key, value in mapping.items():
+            path = key if not prefix else f"{prefix}{SEP}{key}"
+            if isinstance(value, dict):
+                stack.append((path, value))
+            else:
+                flat[path] = value
+    return flat
+
+
+def unflatten_state(flat: Dict[str, Any]) -> Dict[str, Any]:
+    """Rebuild the nested dict form of a flattened state."""
+    nested: Dict[str, Any] = {}
+    for path, value in flat.items():
+        parts = path.split(SEP)
+        cursor = nested
+        for part in parts[:-1]:
+            cursor = cursor.setdefault(part, {})
+        cursor[parts[-1]] = value
+    return nested
+
+
+# ----------------------------------------------------------------------
+# Timeline writer
+# ----------------------------------------------------------------------
+class TimelineWriter:
+    """Streams timeline records to a JSONL file, one object per line.
+
+    Closing flushes and ``fsync``\\ s so shard tails survive abrupt exits;
+    close runs automatically at interpreter exit (``atexit``) and at
+    multiprocessing-worker exit (``multiprocessing.util.Finalize`` —
+    workers leave through ``os._exit`` and skip normal shutdown).  Both
+    hooks are pid-guarded: a copy inherited across ``fork`` never touches
+    the parent's buffer.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._file = open(self.path, "w", encoding="utf-8")
+        self._pid = os.getpid()
+        self.written = 0
+        atexit.register(self.close)
+        multiprocessing.util.Finalize(self, self.close, exitpriority=10)
+
+    def write(self, doc: Dict[str, Any]) -> None:
+        if self._file is None:
+            return
+        self._file.write(json.dumps(doc, separators=(",", ":")))
+        self._file.write("\n")
+        self.written += 1
+
+    def flush(self) -> None:
+        if self._file is not None and self._pid == os.getpid():
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is None:
+            return
+        if self._pid != os.getpid():
+            # Inherited across fork: the buffer (and its unflushed bytes)
+            # belong to the parent process.  Keep the reference so nothing
+            # here ever flushes the parent's bytes a second time.
+            return
+        file = self._file
+        self._file = None
+        file.flush()
+        os.fsync(file.fileno())
+        file.close()
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover - unregister is best-effort
+            pass
+
+    def __enter__(self) -> "TimelineWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Process-wide recording configuration
+# ----------------------------------------------------------------------
+class RecordingConfig:
+    """Where and how densely to record.
+
+    One config is shared by every scenario built while it is active; all
+    their recorders append to the same timeline file (records are scoped
+    by the simulator's trace run id, exactly like trace events).  With
+    ``path=None`` recorders keep their records in memory
+    (:attr:`FlightRecorder.records`) — summaries still reach
+    ``TrialMetrics.extras``.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        keyframe_every: int = DEFAULT_KEYFRAME_EVERY,
+    ) -> None:
+        if interval_s <= 0:
+            raise ConfigurationError(
+                f"recording interval must be positive, got {interval_s!r}"
+            )
+        if int(keyframe_every) < 1:
+            raise ConfigurationError(
+                f"keyframe_every must be >= 1, got {keyframe_every!r}"
+            )
+        self.path = str(path) if path is not None else None
+        self.interval_s = float(interval_s)
+        self.keyframe_every = int(keyframe_every)
+        self._writer: Optional[TimelineWriter] = None
+
+    def writer(self) -> Optional[TimelineWriter]:
+        """The shared (lazily opened) timeline writer, or None (memory)."""
+        if self.path is None:
+            return None
+        if self._writer is None:
+            self._writer = TimelineWriter(self.path)
+        return self._writer
+
+    def reshard(self, index: int) -> None:
+        """Re-point a forked worker at its own ``<stem>.<k><ext>`` shard.
+
+        The parent's writer reference (if one was already open) is dropped
+        without closing — under fork its buffer is shared with the parent.
+        """
+        self._writer = None
+        if self.path is not None:
+            stem, ext = os.path.splitext(self.path)
+            self.path = f"{stem}.{index}{ext}"
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+
+_GLOBAL_RECORDING: List[RecordingConfig] = []
+_ENV_RECORDING: Optional[Tuple[Tuple[str, ...], RecordingConfig]] = None
+
+
+def install_global_recording(config: RecordingConfig) -> RecordingConfig:
+    """Record every scenario built from now on."""
+    _GLOBAL_RECORDING.append(config)
+    return config
+
+
+def remove_global_recording(config: RecordingConfig) -> None:
+    """Stop recording new scenarios through ``config``."""
+    try:
+        _GLOBAL_RECORDING.remove(config)
+    except ValueError:
+        pass
+
+
+def active_recording() -> Optional[RecordingConfig]:
+    """The explicitly installed recording config, if any."""
+    return _GLOBAL_RECORDING[-1] if _GLOBAL_RECORDING else None
+
+
+def _parse_interval(raw: Optional[str]) -> float:
+    if not raw:
+        return DEFAULT_INTERVAL_S
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_TIMELINE_INTERVAL must be a positive number of sim "
+            f"seconds, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ConfigurationError(
+            f"REPRO_TIMELINE_INTERVAL must be a positive number of sim "
+            f"seconds, got {raw!r}"
+        )
+    return value
+
+
+def _parse_keyframe(raw: Optional[str]) -> int:
+    if not raw:
+        return DEFAULT_KEYFRAME_EVERY
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_TIMELINE_KEYFRAME must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigurationError(
+            f"REPRO_TIMELINE_KEYFRAME must be a positive integer, got {raw!r}"
+        )
+    return value
+
+
+def _env_recording() -> Optional[RecordingConfig]:
+    global _ENV_RECORDING
+    path = os.environ.get("REPRO_TIMELINE")
+    if not path:
+        return None
+    key = (
+        path,
+        os.environ.get("REPRO_TIMELINE_INTERVAL", ""),
+        os.environ.get("REPRO_TIMELINE_KEYFRAME", ""),
+    )
+    if _ENV_RECORDING is not None and _ENV_RECORDING[0] == key:
+        return _ENV_RECORDING[1]
+    config = RecordingConfig(
+        path=path,
+        interval_s=_parse_interval(key[1]),
+        keyframe_every=_parse_keyframe(key[2]),
+    )
+    _ENV_RECORDING = (key, config)
+    return config
+
+
+def configured_recording() -> Optional[RecordingConfig]:
+    """The recording in effect: installed config, else ``REPRO_TIMELINE``."""
+    config = active_recording()
+    if config is not None:
+        return config
+    return _env_recording()
+
+
+@contextmanager
+def recording(
+    path: Optional[str] = None,
+    interval_s: float = DEFAULT_INTERVAL_S,
+    keyframe_every: int = DEFAULT_KEYFRAME_EVERY,
+) -> Iterator[RecordingConfig]:
+    """Scope a process-wide recording (used by the CLI and ``timeline=``)."""
+    config = install_global_recording(
+        RecordingConfig(
+            path=path, interval_s=interval_s, keyframe_every=keyframe_every
+        )
+    )
+    try:
+        yield config
+    finally:
+        remove_global_recording(config)
+        config.close()
+
+
+def reshard_for_worker(index: int) -> None:
+    """Point this worker process's recording at its own timeline shard.
+
+    Called from the parallel runner's worker initializer (after fork);
+    also updates ``REPRO_TIMELINE`` so env-activated recording resolves to
+    the shard path for the rest of the worker's life.
+    """
+    global _ENV_RECORDING
+    config = configured_recording()
+    if config is None or config.path is None:
+        return
+    config.reshard(index)
+    if os.environ.get("REPRO_TIMELINE"):
+        os.environ["REPRO_TIMELINE"] = config.path
+        key = (
+            config.path,
+            os.environ.get("REPRO_TIMELINE_INTERVAL", ""),
+            os.environ.get("REPRO_TIMELINE_KEYFRAME", ""),
+        )
+        _ENV_RECORDING = (key, config)
+
+
+def recording_shard_base() -> Optional[str]:
+    """The timeline path workers would shard, or None (parent-side check)."""
+    config = configured_recording()
+    return config.path if config is not None else None
+
+
+# ----------------------------------------------------------------------
+# Recorder collection (per-trial summaries)
+# ----------------------------------------------------------------------
+_RECORDER_COLLECTORS: List[List["FlightRecorder"]] = []
+
+
+@contextmanager
+def collect_recorders() -> Iterator[List["FlightRecorder"]]:
+    """Collect every :class:`FlightRecorder` started inside the block.
+
+    The trial runner uses this to find the recorders a trial's scenarios
+    attach deep inside experiment code, so their summaries can land on
+    ``TrialMetrics.extras["timeline"]``.  Nestable.
+    """
+    bucket: List[FlightRecorder] = []
+    _RECORDER_COLLECTORS.append(bucket)
+    try:
+        yield bucket
+    finally:
+        _RECORDER_COLLECTORS.remove(bucket)
+
+
+def _clear_recorder_collectors() -> None:
+    """Drop collector buckets inherited by a forked worker process."""
+    _RECORDER_COLLECTORS.clear()
+
+
+# ----------------------------------------------------------------------
+# State capture
+# ----------------------------------------------------------------------
+def capture_network_state(
+    topology: Any, medium: Any, devices: Dict[Any, Any]
+) -> Dict[str, Any]:
+    """One nested, JSON-ready snapshot of the whole network's state.
+
+    Strictly read-only: composes the ``observe_state()`` views (which
+    never purge, emit, or draw randomness) plus the topology's degree
+    distribution.  The same function backs both recording and the live
+    captures the exactness property test compares against.
+    """
+    nodes = {
+        str(node_id): device.observe_state()
+        for node_id, device in devices.items()
+        if getattr(device, "alive", True)
+    }
+    net = medium.observe_state()
+    degree: Dict[str, int] = {}
+    present = topology.nodes()
+    for node_id in present:
+        key = str(len(topology.neighbors(node_id)))
+        degree[key] = degree.get(key, 0) + 1
+    net["nodes"] = len(present)
+    net["degree"] = degree
+    return {"nodes": nodes, "net": net}
+
+
+def _is_cdi_key(key: str) -> bool:
+    parts = key.split(SEP, 3)
+    return len(parts) > 2 and parts[0] == "nodes" and parts[2] == "cdi"
+
+
+class FlightRecorder:
+    """Samples one scenario's state on an interval plus round boundaries.
+
+    Args:
+        sim: The scenario's simulator (samples are timestamped with its
+            clock and scoped by its trace run id).
+        topology / medium / devices: Live references into the scenario —
+            the *devices dict itself* is shared with any mobility trace
+            player, so joins and leaves show up in later samples.
+        writer: Shared :class:`TimelineWriter`, or None to keep records
+            in memory (:attr:`records`).
+    """
+
+    def __init__(
+        self,
+        sim: Any,
+        topology: Any,
+        medium: Any,
+        devices: Dict[Any, Any],
+        interval_s: float = DEFAULT_INTERVAL_S,
+        keyframe_every: int = DEFAULT_KEYFRAME_EVERY,
+        writer: Optional[TimelineWriter] = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ConfigurationError(
+                f"recording interval must be positive, got {interval_s!r}"
+            )
+        if int(keyframe_every) < 1:
+            raise ConfigurationError(
+                f"keyframe_every must be >= 1, got {keyframe_every!r}"
+            )
+        self.sim = sim
+        self.topology = topology
+        self.medium = medium
+        self.devices = devices
+        self.interval_s = float(interval_s)
+        self.keyframe_every = int(keyframe_every)
+        self._writer = writer
+        self.records: List[Dict[str, Any]] = []
+        self._prev_flat: Dict[str, Any] = {}
+        self._seq = 0
+        self._tick_event: Optional[Any] = None
+        self._started = False
+        # Summary accumulators.
+        self.samples = 0
+        self.peak_lqt = 0
+        self._cdi_last_change: Optional[float] = None
+        self._first_t: Optional[float] = None
+        self._last_t: float = 0.0
+        self._first_airtime = 0.0
+        self._last_airtime = 0.0
+
+    # ------------------------------------------------------------------
+    def start(self) -> "FlightRecorder":
+        """Write the meta record, take sample 0, begin interval sampling."""
+        if self._started:
+            return self
+        self._started = True
+        self.sim.recorder = self
+        for bucket in _RECORDER_COLLECTORS:
+            bucket.append(self)
+        self._write(
+            {
+                "rec": "meta",
+                "run": self.sim.trace.run_id,
+                "t": self.sim.now,
+                "interval": self.interval_s,
+                "keyframe_every": self.keyframe_every,
+            }
+        )
+        self.sample(by="start")
+        self._tick_event = self.sim.schedule(self.interval_s, self._tick)
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling (the timeline written so far stays valid)."""
+        if not self._started:
+            return
+        self._started = False
+        if getattr(self.sim, "recorder", None) is self:
+            self.sim.recorder = None
+        if self._tick_event is not None:
+            self.sim.cancel(self._tick_event)
+            self._tick_event = None
+
+    def _tick(self) -> None:
+        self.sample(by="interval")
+        self._tick_event = self.sim.schedule(self.interval_s, self._tick)
+
+    def on_round_boundary(self, kind: str, round_index: Optional[int] = None) -> None:
+        """Forced sample at a discovery round edge (called by the rounds
+        controller through ``sim.recorder``)."""
+        self.sample(by=kind, round_index=round_index)
+
+    # ------------------------------------------------------------------
+    def sample(
+        self, by: str = "manual", round_index: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Capture one sample now; returns the record written."""
+        now = self.sim.now
+        nested = capture_network_state(self.topology, self.medium, self.devices)
+        flat = flatten_state(nested)
+        doc: Dict[str, Any] = {
+            "rec": "key" if self._seq % self.keyframe_every == 0 else "delta",
+            "run": self.sim.trace.run_id,
+            "seq": self._seq,
+            "t": now,
+            "by": by,
+        }
+        if round_index is not None:
+            doc["round"] = round_index
+        prev = self._prev_flat
+        changed = {
+            key: value
+            for key, value in flat.items()
+            if key not in prev or prev[key] != value
+        }
+        removed = [key for key in prev if key not in flat]
+        if doc["rec"] == "key":
+            doc["state"] = flat
+        else:
+            doc["set"] = changed
+            doc["del"] = removed
+        self._write(doc)
+
+        # Summary accumulators (used for TrialMetrics.extras["timeline"]).
+        for state in nested["nodes"].values():
+            total = sum(len(table) for table in state["lqt"].values())
+            if total > self.peak_lqt:
+                self.peak_lqt = total
+        if any(_is_cdi_key(key) for key in changed) or any(
+            _is_cdi_key(key) for key in removed
+        ):
+            self._cdi_last_change = now
+        airtime = float(nested["net"].get("airtime_s", 0.0))
+        if self._first_t is None:
+            self._first_t = now
+            self._first_airtime = airtime
+        self._last_t = now
+        self._last_airtime = airtime
+
+        self._prev_flat = flat
+        self._seq += 1
+        self.samples += 1
+        return doc
+
+    def _write(self, doc: Dict[str, Any]) -> None:
+        if self._writer is not None:
+            self._writer.write(doc)
+        else:
+            self.records.append(doc)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Series statistics for ``TrialMetrics.extras["timeline"]``.
+
+        ``peak_lqt`` — largest per-node total of live LQT entries seen;
+        ``cdi_conv_s`` — sim time of the last observed CDI change (the
+        convergence instant; 0 when no CDI state ever appeared);
+        ``airtime_util`` — mean channel utilization between the first and
+        last sample (cumulative airtime delta / elapsed sim time).
+        """
+        elapsed = (
+            self._last_t - self._first_t if self._first_t is not None else 0.0
+        )
+        util = (
+            (self._last_airtime - self._first_airtime) / elapsed
+            if elapsed > 0
+            else 0.0
+        )
+        return {
+            "runs": 1,
+            "samples": self.samples,
+            "elapsed_s": elapsed,
+            "peak_lqt": self.peak_lqt,
+            "cdi_conv_s": (
+                self._cdi_last_change if self._cdi_last_change is not None else 0.0
+            ),
+            "airtime_util": util,
+            "final_t": self._last_t,
+        }
+
+
+def merge_summaries(summaries: List[Dict[str, float]]) -> Dict[str, float]:
+    """Fold per-recorder summaries (a trial may build several scenarios)."""
+    merged: Dict[str, float] = {
+        "runs": 0,
+        "samples": 0,
+        "elapsed_s": 0.0,
+        "peak_lqt": 0,
+        "cdi_conv_s": 0.0,
+        "airtime_util": 0.0,
+        "final_t": 0.0,
+    }
+    weighted_util = 0.0
+    for summary in summaries:
+        merged["runs"] += int(summary.get("runs", 1))
+        merged["samples"] += int(summary.get("samples", 0))
+        elapsed = float(summary.get("elapsed_s", 0.0))
+        merged["elapsed_s"] += elapsed
+        merged["peak_lqt"] = max(
+            merged["peak_lqt"], int(summary.get("peak_lqt", 0))
+        )
+        merged["cdi_conv_s"] = max(
+            merged["cdi_conv_s"], float(summary.get("cdi_conv_s", 0.0))
+        )
+        merged["final_t"] = max(merged["final_t"], float(summary.get("final_t", 0.0)))
+        weighted_util += float(summary.get("airtime_util", 0.0)) * elapsed
+    if merged["elapsed_s"] > 0:
+        merged["airtime_util"] = weighted_util / merged["elapsed_s"]
+    return merged

@@ -64,8 +64,10 @@ over them.
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import json
+import os
 from collections import Counter as TallyCounter
 from collections import deque
 from contextlib import contextmanager
@@ -147,12 +149,23 @@ class RingBufferSink(TraceSink):
 
 
 class JsonlSink(TraceSink):
-    """Streams events to a file, one JSON object per line."""
+    """Streams events to a file, one JSON object per line.
+
+    Closing flushes and ``fsync``\\ s so shard tails survive abrupt exits.
+    An ``atexit`` hook closes the sink at normal interpreter shutdown;
+    the parallel runner additionally registers a
+    ``multiprocessing.util.Finalize`` for worker shards (workers leave
+    through ``os._exit`` and skip ``atexit``).  Close is pid-guarded: a
+    sink inherited across ``fork`` never flushes the parent's buffer.
+    Usable as a context manager.
+    """
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
         self._file = open(self.path, "w", encoding="utf-8")
+        self._pid = os.getpid()
         self.written = 0
+        atexit.register(self.close)
 
     def handle(self, event: TraceEvent) -> None:
         if self._file is None:
@@ -162,13 +175,32 @@ class JsonlSink(TraceSink):
         self.written += 1
 
     def flush(self) -> None:
-        if self._file is not None:
+        if self._file is not None and self._pid == os.getpid():
             self._file.flush()
 
     def close(self) -> None:
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+        if self._file is None:
+            return
+        if self._pid != os.getpid():
+            # Inherited across fork: the buffer (and its unflushed bytes)
+            # belong to the parent process.  Keep the reference so nothing
+            # here ever flushes the parent's bytes a second time.
+            return
+        file = self._file
+        self._file = None
+        file.flush()
+        os.fsync(file.fileno())
+        file.close()
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover - unregister is best-effort
+            pass
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 def read_jsonl(path: str) -> List[Dict[str, object]]:

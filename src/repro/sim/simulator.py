@@ -29,6 +29,11 @@ class Simulator:
             histograms recorded by the stack).
         events_processed: Total events fired over the simulator's life.
         peak_queue_depth: Largest event-queue length observed while running.
+        recorder: The attached flight recorder
+            (:class:`repro.obs.recorder.FlightRecorder`), or ``None``.
+            Left ``None`` unless a recording is configured — the event
+            loop itself never consults it, so a disabled recorder adds
+            zero per-event cost.
     """
 
     def __init__(self) -> None:
@@ -42,6 +47,7 @@ class Simulator:
         self.metrics = MetricsRegistry()
         self.events_processed: int = 0
         self.peak_queue_depth: int = 0
+        self.recorder: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -186,4 +192,5 @@ class Simulator:
         self._stopped = False
         self.events_processed = 0
         self.peak_queue_depth = 0
+        self.recorder = None
         self.metrics.reset()

@@ -154,3 +154,92 @@ def test_inspect_accepts_directory(tmp_path, capsys):
 def test_inspect_unmatched_glob_errors(tmp_path, capsys):
     assert main(["inspect", str(tmp_path / "nope.*.jsonl")]) == 2
     assert "no trace files match" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# --timeline recording and inspect dispatch
+# ----------------------------------------------------------------------
+@pytest.fixture
+def scenario_fig4(monkeypatch):
+    """Replace fig4's run with a tiny real scenario (recorder-visible)."""
+    from repro.experiments.figures.common import experiment_device_config
+    from repro.experiments.scenario import build_grid_scenario
+
+    def run(*args, **kwargs):
+        scenario = build_grid_scenario(
+            rows=2, cols=2, seed=1, device_config=experiment_device_config()
+        )
+        scenario.sim.run(until=3.0)
+        return [{"grid": "2x2", "recall": 1.0}]
+
+    monkeypatch.setattr(REGISTRY["fig4"], "run", run)
+
+
+def test_timeline_flag_records_jsonl(tmp_path, capsys, scenario_fig4):
+    path = tmp_path / "tl.jsonl"
+    assert main(
+        ["fig4", "--timeline", str(path), "--timeline-interval", "0.5",
+         "--keyframe-every", "3"]
+    ) == 0
+    err = capsys.readouterr().err
+    assert f"timeline written to {path}" in err
+    records = read_jsonl(str(path))
+    kinds = [r["rec"] for r in records]
+    assert kinds[0] == "meta"
+    assert "key" in kinds and "delta" in kinds
+    assert records[0]["interval"] == 0.5
+    assert records[0]["keyframe_every"] == 3
+
+
+def test_timeline_recording_removed_after_run(tmp_path, scenario_fig4):
+    from repro.obs.recorder import configured_recording
+
+    assert main(["fig4", "--timeline", str(tmp_path / "tl.jsonl")]) == 0
+    assert configured_recording() is None
+
+
+def _record_small_timeline(tmp_path):
+    from repro.experiments.figures.common import (
+        experiment_device_config,
+        pdd_experiment,
+    )
+    from repro.experiments.scenario import build_grid_scenario
+    from repro.obs.recorder import recording
+
+    path = tmp_path / "tl.jsonl"
+    with recording(path=str(path), interval_s=0.5, keyframe_every=4):
+        scenario = build_grid_scenario(
+            rows=3, cols=3, seed=1, device_config=experiment_device_config()
+        )
+        pdd_experiment(1, metadata_count=100, scenario=scenario, sim_cap_s=20.0)
+    return path
+
+
+def test_inspect_timeline_views(tmp_path, capsys):
+    path = _record_small_timeline(tmp_path)
+    assert main(["inspect", str(path), "--timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "series lqt" in out
+    assert main(["inspect", str(path), "--at", "5.0"]) == 0
+    out = capsys.readouterr().out
+    assert "state at t=5" in out
+    assert main(["inspect", str(path), "--diff", "0", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "diff t1=0 -> t2=5" in out
+
+
+def test_inspect_timeline_at_out_of_range_exits_two(tmp_path, capsys):
+    path = _record_small_timeline(tmp_path)
+    assert main(["inspect", str(path), "--at", "-4"]) == 2
+    assert "timeline error" in capsys.readouterr().out
+
+
+def test_inspect_timeline_unknown_series_exits_two(tmp_path, capsys):
+    path = _record_small_timeline(tmp_path)
+    assert main(["inspect", str(path), "--timeline", "--series", "bogus"]) == 2
+    assert "unknown series" in capsys.readouterr().out
+
+
+def test_inspect_timeline_missing_file_errors(tmp_path, capsys):
+    assert main(["inspect", str(tmp_path / "nope.jsonl"), "--timeline"]) == 2
+    assert "no such trace file" in capsys.readouterr().err

@@ -158,3 +158,84 @@ def test_parallel_rejects_unshardable_sink():
         with pytest.raises(ConfigurationError) as excinfo:
             run_trials(_ok_trial, seeds=[1, 2], jobs=2)
     assert "jobs=1" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# timeline= knob (flight recorder)
+# ----------------------------------------------------------------------
+def _recorded_trial(seed):
+    from repro.experiments.figures.common import pdd_experiment
+
+    outcome = pdd_experiment(
+        seed, rows=3, cols=3, metadata_count=100, sim_cap_s=30.0
+    )
+    return outcome.to_trial_metrics()
+
+
+def test_timeline_knob_memory_attaches_summary_columns():
+    agg = run_trials(_recorded_trial, seeds=[1, 2], jobs=1, timeline=True)
+    assert agg.timeline_trials == 2
+    stats = dict(agg.timeline)
+    assert stats["peak_lqt"] >= 1
+    assert 0.0 <= stats["airtime_util"] <= 1.0
+    row = agg.as_row()
+    assert "peak_lqt" in row and "cdi_conv_s" in row and "airtime_util" in row
+    # Without the knob the columns stay absent (tables keep their seed shape).
+    plain = run_trials(_recorded_trial, seeds=[1], jobs=1)
+    assert plain.timeline_trials == 0
+    assert "peak_lqt" not in plain.as_row()
+
+
+def test_timeline_knob_does_not_perturb_results():
+    plain = run_trials(_recorded_trial, seeds=[1, 2], jobs=1)
+    recorded = run_trials(_recorded_trial, seeds=[1, 2], jobs=1, timeline=True)
+    assert recorded.recall_mean == plain.recall_mean
+    assert recorded.latency_mean == plain.latency_mean
+    assert recorded.overhead_mb_mean == plain.overhead_mb_mean
+
+
+@pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="timeline shards need fork",
+)
+def test_timeline_knob_shards_per_worker(tmp_path):
+    path = str(tmp_path / "tl.jsonl")
+    agg = run_trials(
+        _recorded_trial, seeds=[1, 2, 3, 4], jobs=2, timeline=path
+    )
+    assert agg.trials == 4
+    assert agg.timeline_trials == 4  # summaries travel in pickled results
+    shards = sorted(p for p in os.listdir(tmp_path) if p.startswith("tl."))
+    assert shards and all(p.endswith(".jsonl") for p in shards)
+    from repro.obs.timeline import load_timeline, reconstruct_at
+
+    load = load_timeline(path)
+    assert len(load.runs) == 4  # one recorded run per trial
+    for run in load.runs:
+        _, _, flat = reconstruct_at(run, run.t_max)
+        assert flat  # every shard ends in reconstructible state
+
+
+def test_timeline_knob_memory_works_parallel_without_files():
+    agg = run_trials(_recorded_trial, seeds=[1, 2], jobs=2, timeline=True)
+    assert agg.trials == 2
+    assert agg.timeline_trials == 2
+
+
+def test_plan_timeline_shards_requires_fork_for_files(tmp_path):
+    from repro.experiments.runner import _plan_timeline_shards
+    from repro.obs import recorder as obs_recorder
+
+    class _SpawnContext:
+        @staticmethod
+        def get_start_method():
+            return "spawn"
+
+    assert _plan_timeline_shards(_SpawnContext()) is False  # no recording
+    with obs_recorder.recording(path=str(tmp_path / "tl.jsonl")):
+        with pytest.raises(ConfigurationError) as excinfo:
+            _plan_timeline_shards(_SpawnContext())
+        assert "jobs=1" in str(excinfo.value)
+    with obs_recorder.recording(path=None):
+        # Memory-only recordings survive any start method.
+        assert _plan_timeline_shards(_SpawnContext()) is False

@@ -46,3 +46,89 @@ def test_real_results_directory_renders():
     results = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
     doc = build_experiments_md(results)
     assert doc.startswith("# EXPERIMENTS")
+
+
+# ----------------------------------------------------------------------
+# Table rendering: the pipeline that feeds every recorded results table
+# ----------------------------------------------------------------------
+from repro.experiments.metrics import AggregateMetrics, TrialMetrics
+from repro.experiments.runner import render_table
+
+
+def test_render_table_layout():
+    text = render_table(
+        "My title",
+        ["grid", "recall"],
+        [{"grid": "3x3", "recall": 1.0}, {"grid": "11x11", "recall": 0.72}],
+    )
+    lines = text.splitlines()
+    assert lines[0] == "My title"
+    assert set(lines[1]) == {"-"}  # rule under the title
+    assert lines[2].split() == ["grid", "recall"]
+    assert lines[4].split() == ["3x3", "1.0"]
+    assert lines[5].split() == ["11x11", "0.72"]
+    assert lines[-1] == lines[1]  # closing rule
+
+
+def test_render_table_blanks_missing_cells():
+    text = render_table("t", ["a", "b"], [{"a": 1}])
+    row = text.splitlines()[4]
+    assert "1" in row
+    assert row.rstrip().endswith("1")  # the b cell rendered empty
+
+
+def test_aggregate_row_std_columns_render():
+    agg = AggregateMetrics.from_trials(
+        [
+            TrialMetrics(recall=1.0, latency_s=2.0, overhead_bytes=1_000_000),
+            TrialMetrics(recall=0.5, latency_s=4.0, overhead_bytes=3_000_000),
+        ]
+    )
+    row = agg.as_row()
+    for column in ("recall_std", "latency_std", "overhead_mb_std"):
+        assert column in row
+    text = render_table("t", sorted(row), [row])
+    assert "recall_std" in text
+    assert str(row["latency_std"]) in text
+
+
+def test_aggregate_row_timeline_columns_render():
+    trials = [
+        TrialMetrics(
+            recall=1.0,
+            latency_s=1.0,
+            overhead_bytes=1_000,
+            extras={
+                "timeline": {
+                    "peak_lqt": 4,
+                    "cdi_conv_s": 2.5,
+                    "airtime_util": 0.12345,
+                }
+            },
+        ),
+        TrialMetrics(
+            recall=1.0,
+            latency_s=1.0,
+            overhead_bytes=1_000,
+            extras={
+                "timeline": {
+                    "peak_lqt": 2,
+                    "cdi_conv_s": 1.5,
+                    "airtime_util": 0.2,
+                }
+            },
+        ),
+    ]
+    agg = AggregateMetrics.from_trials(trials)
+    assert agg.timeline_trials == 2
+    row = agg.as_row()
+    assert row["peak_lqt"] == 4  # max over trials, rendered as an int
+    assert row["cdi_conv_s"] == 2.0  # mean
+    assert row["airtime_util"] == round((0.12345 + 0.2) / 2, 4)
+    text = render_table("t", ["recall", "peak_lqt", "airtime_util"], [row])
+    assert "peak_lqt" in text and "airtime_util" in text
+    # An unrecorded aggregate renders the same columns as blanks.
+    plain = AggregateMetrics.from_trials(
+        [TrialMetrics(recall=1.0, latency_s=1.0, overhead_bytes=1_000)]
+    )
+    assert "peak_lqt" not in plain.as_row()

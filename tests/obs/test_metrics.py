@@ -203,3 +203,89 @@ def test_collect_registries_nests():
             second = MetricsRegistry()
     assert outer == [first, second]  # outer sees everything in its scope
     assert inner == [second]
+
+
+# ----------------------------------------------------------------------
+# Gauge time-weighted mean
+# ----------------------------------------------------------------------
+def test_gauge_time_weighted_mean_integrates_previous_value():
+    gauge = Gauge("g")
+    gauge.set(10.0, now=0.0)  # no span yet: first timed set
+    gauge.set(0.0, now=2.0)   # 10 held for 2s
+    gauge.set(4.0, now=4.0)   # 0 held for 2s
+    # area = 10*2 + 0*2 = 20 over 4s
+    assert gauge.area == 20.0
+    assert gauge.elapsed == 4.0
+    assert gauge.time_weighted_mean() == 5.0
+
+
+def test_gauge_untimed_sets_leave_twm_zero():
+    gauge = Gauge("g")
+    gauge.set(7.0)
+    gauge.set(3.0)
+    assert gauge.time_weighted_mean() == 0.0
+    assert gauge.elapsed == 0.0
+
+
+def test_gauge_reset_clears_time_accumulators():
+    gauge = Gauge("g")
+    gauge.set(5.0, now=0.0)
+    gauge.set(5.0, now=3.0)
+    gauge.reset()
+    assert gauge.area == 0.0
+    assert gauge.elapsed == 0.0
+    assert gauge.time_weighted_mean() == 0.0
+    # A fresh timed series starts a new integral, uncontaminated.
+    gauge.set(2.0, now=10.0)
+    gauge.set(2.0, now=11.0)
+    assert gauge.time_weighted_mean() == 2.0
+
+
+def test_gauge_snapshot_carries_twm_fields():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("queue")
+    gauge.set(6.0, now=0.0)
+    gauge.set(0.0, now=3.0)
+    snap = registry.snapshot()["gauges"]["queue"]
+    assert snap["twm"] == 6.0
+    assert snap["area"] == 18.0
+    assert snap["elapsed"] == 3.0
+
+
+def test_merge_snapshot_adds_time_accumulators():
+    worker_a = MetricsRegistry()
+    worker_a.gauge("queue").set(4.0, now=0.0)
+    worker_a.gauge("queue").set(4.0, now=1.0)  # area 4, elapsed 1
+    worker_b = MetricsRegistry()
+    worker_b.gauge("queue").set(1.0, now=0.0)
+    worker_b.gauge("queue").set(1.0, now=3.0)  # area 3, elapsed 3
+    parent = MetricsRegistry()
+    parent.merge_snapshot(worker_a.snapshot())
+    parent.merge_snapshot(worker_b.snapshot())
+    merged = parent.gauge("queue")
+    assert merged.area == 7.0
+    assert merged.elapsed == 4.0
+    assert merged.time_weighted_mean() == pytest.approx(7.0 / 4.0)
+
+
+def test_merge_snapshot_tolerates_legacy_gauges_without_twm():
+    parent = MetricsRegistry()
+    parent.merge_snapshot(
+        {"gauges": {"queue": {"value": 2.0, "max": 5.0, "min": 0.0, "samples": 3}}}
+    )
+    gauge = parent.gauge("queue")
+    assert gauge.samples == 3
+    assert gauge.time_weighted_mean() == 0.0
+
+
+def test_render_mentions_twm_only_when_timed():
+    registry = MetricsRegistry()
+    registry.gauge("untimed").set(1.0)
+    timed = registry.gauge("timed")
+    timed.set(2.0, now=0.0)
+    timed.set(2.0, now=1.0)
+    lines = registry.render().splitlines()
+    timed_line = next(line for line in lines if "timed" in line and "untimed" not in line)
+    untimed_line = next(line for line in lines if "untimed" in line)
+    assert "twm 2" in timed_line
+    assert "twm" not in untimed_line

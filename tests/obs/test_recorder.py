@@ -1,0 +1,336 @@
+"""Flight recorder: codec, sampling, exactness, and zero perturbation.
+
+The heart of this file is the exactness property test: during a real
+discovery run a spy captures the live network state immediately after
+every recorded sample, and each one must be reproducible bit-for-bit
+from the timeline file alone — at keyframe positions and at delta
+positions.  The other acceptance criterion covered here is
+non-perturbation: a recorded run's experiment outcome equals the
+unrecorded run's outcome on the same seed.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.figures.common import (
+    experiment_device_config,
+    pdd_experiment,
+)
+from repro.experiments.scenario import build_grid_scenario
+from repro.obs import recorder as rec_mod
+from repro.obs.recorder import (
+    SEP,
+    FlightRecorder,
+    RecordingConfig,
+    TimelineWriter,
+    capture_network_state,
+    configured_recording,
+    flatten_state,
+    merge_summaries,
+    recording,
+    unflatten_state,
+)
+from repro.obs.timeline import load_timeline, reconstruct_at
+
+
+# ----------------------------------------------------------------------
+# Flat-state codec
+# ----------------------------------------------------------------------
+def test_flatten_unflatten_round_trip():
+    nested = {
+        "nodes": {"3": {"lqt": {"disc": {"q1": 1.5}}, "cdi": {"size": 2}}},
+        "net": {"airtime_s": 0.25},
+    }
+    flat = flatten_state(nested)
+    assert flat[f"nodes{SEP}3{SEP}lqt{SEP}disc{SEP}q1"] == 1.5
+    assert flat[f"net{SEP}airtime_s"] == 0.25
+    assert unflatten_state(flat) == nested
+
+
+def test_flatten_drops_empty_subdicts():
+    # The flat form is canonical: empty branches carry no leaves, so
+    # reconstruction equality is defined without them.
+    flat = flatten_state({"a": {}, "b": {"c": {}, "d": 1}})
+    assert flat == {f"b{SEP}d": 1}
+    assert unflatten_state(flat) == {"b": {"d": 1}}
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+def test_recording_config_validates():
+    with pytest.raises(ConfigurationError):
+        RecordingConfig(interval_s=0)
+    with pytest.raises(ConfigurationError):
+        RecordingConfig(keyframe_every=0)
+
+
+def test_recording_context_scopes_config():
+    assert configured_recording() is None
+    with recording(path=None, interval_s=0.5, keyframe_every=3) as config:
+        assert configured_recording() is config
+        assert config.interval_s == 0.5
+        assert config.keyframe_every == 3
+    assert configured_recording() is None
+
+
+def test_env_recording_parses_knobs(monkeypatch, tmp_path):
+    monkeypatch.setattr(rec_mod, "_ENV_RECORDING", None)
+    monkeypatch.setenv("REPRO_TIMELINE", str(tmp_path / "tl.jsonl"))
+    monkeypatch.setenv("REPRO_TIMELINE_INTERVAL", "0.25")
+    monkeypatch.setenv("REPRO_TIMELINE_KEYFRAME", "5")
+    config = configured_recording()
+    assert config is not None
+    assert config.path == str(tmp_path / "tl.jsonl")
+    assert config.interval_s == 0.25
+    assert config.keyframe_every == 5
+    # Same env -> cached config object.
+    assert configured_recording() is config
+
+
+@pytest.mark.parametrize(
+    "var, value",
+    [
+        ("REPRO_TIMELINE_INTERVAL", "fast"),
+        ("REPRO_TIMELINE_INTERVAL", "-1"),
+        ("REPRO_TIMELINE_KEYFRAME", "0"),
+        ("REPRO_TIMELINE_KEYFRAME", "often"),
+    ],
+)
+def test_env_recording_rejects_bad_knobs(monkeypatch, tmp_path, var, value):
+    monkeypatch.setattr(rec_mod, "_ENV_RECORDING", None)
+    monkeypatch.setenv("REPRO_TIMELINE", str(tmp_path / "tl.jsonl"))
+    monkeypatch.setenv(var, value)
+    with pytest.raises(ConfigurationError):
+        configured_recording()
+
+
+def test_installed_recording_wins_over_env(monkeypatch, tmp_path):
+    monkeypatch.setattr(rec_mod, "_ENV_RECORDING", None)
+    monkeypatch.setenv("REPRO_TIMELINE", str(tmp_path / "env.jsonl"))
+    with recording(path=None) as config:
+        assert configured_recording() is config
+
+
+def test_reshard_renames_path(tmp_path):
+    config = RecordingConfig(path=str(tmp_path / "tl.jsonl"))
+    config.reshard(3)
+    assert config.path == str(tmp_path / "tl.3.jsonl")
+
+
+# ----------------------------------------------------------------------
+# TimelineWriter durability
+# ----------------------------------------------------------------------
+def test_writer_close_flushes_and_is_idempotent(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    writer = TimelineWriter(str(path))
+    writer.write({"rec": "meta", "run": 1})
+    writer.close()
+    writer.close()  # safe to call twice
+    assert json.loads(path.read_text()) == {"rec": "meta", "run": 1}
+    writer.write({"rec": "key"})  # post-close writes are dropped, not errors
+    assert path.read_text().count("\n") == 1
+
+
+def test_writer_context_manager(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    with TimelineWriter(str(path)) as writer:
+        writer.write({"rec": "meta"})
+    assert path.read_text().startswith('{"rec":"meta"}')
+
+
+def test_writer_close_in_foreign_pid_keeps_file(tmp_path):
+    # A writer inherited across fork must never flush the parent's buffer:
+    # close() in a "different" process is a no-op that keeps the handle.
+    writer = TimelineWriter(str(tmp_path / "tl.jsonl"))
+    writer._pid = os.getpid() + 1
+    writer.close()
+    assert writer._file is not None
+    writer._pid = os.getpid()
+    writer.close()
+
+
+# ----------------------------------------------------------------------
+# Sampling mechanics (memory-backed, synthetic scenario)
+# ----------------------------------------------------------------------
+def _memory_recorded_run(**kwargs):
+    with recording(path=None, **kwargs):
+        scenario = build_grid_scenario(
+            rows=3, cols=3, seed=1, device_config=experiment_device_config()
+        )
+        recorder = scenario.extras["recorder"]
+        pdd_experiment(1, metadata_count=150, scenario=scenario, sim_cap_s=40.0)
+    return scenario, recorder
+
+
+def test_keyframe_cadence_and_delta_shape():
+    _, recorder = _memory_recorded_run(interval_s=0.5, keyframe_every=4)
+    records = recorder.records
+    assert records[0]["rec"] == "meta"
+    samples = records[1:]
+    assert samples, "a recorded run must produce samples"
+    for sample in samples:
+        if sample["seq"] % 4 == 0:
+            assert sample["rec"] == "key"
+            assert "state" in sample
+        else:
+            assert sample["rec"] == "delta"
+            assert "set" in sample and "del" in sample
+    # Everything written must survive a JSON round trip (JSONL contract).
+    assert json.loads(json.dumps(records)) == records
+
+
+def test_round_boundaries_force_samples():
+    _, recorder = _memory_recorded_run(interval_s=5.0)
+    reasons = {record["by"] for record in recorder.records[1:]}
+    assert "round_begin" in reasons
+    assert "round_end" in reasons
+    rounds = [
+        record["round"]
+        for record in recorder.records[1:]
+        if record["by"] == "round_begin"
+    ]
+    assert rounds == sorted(rounds) and rounds[0] == 1
+
+
+def test_summary_reports_series_statistics():
+    _, recorder = _memory_recorded_run(interval_s=0.5)
+    summary = recorder.summary()
+    assert summary["runs"] == 1
+    assert summary["samples"] == len(recorder.records) - 1
+    assert summary["peak_lqt"] >= 1  # the consumer's query lingered
+    assert summary["elapsed_s"] > 0
+    assert 0.0 <= summary["airtime_util"] <= 1.0
+
+
+def test_merge_summaries_weights_airtime_by_elapsed():
+    merged = merge_summaries(
+        [
+            {"runs": 1, "samples": 3, "elapsed_s": 10.0, "peak_lqt": 2,
+             "cdi_conv_s": 4.0, "airtime_util": 0.5, "final_t": 10.0},
+            {"runs": 1, "samples": 5, "elapsed_s": 30.0, "peak_lqt": 7,
+             "cdi_conv_s": 1.0, "airtime_util": 0.1, "final_t": 30.0},
+        ]
+    )
+    assert merged["runs"] == 2
+    assert merged["samples"] == 8
+    assert merged["peak_lqt"] == 7
+    assert merged["cdi_conv_s"] == 4.0
+    assert merged["final_t"] == 30.0
+    assert merged["airtime_util"] == pytest.approx((0.5 * 10 + 0.1 * 30) / 40)
+
+
+def test_stop_cancels_sampling():
+    with recording(path=None, interval_s=0.5):
+        scenario = build_grid_scenario(
+            rows=3, cols=3, seed=1, device_config=experiment_device_config()
+        )
+        recorder = scenario.extras["recorder"]
+        recorder.stop()
+        assert scenario.sim.recorder is None
+        before = len(recorder.records)
+        scenario.sim.run(until=5.0)
+        assert len(recorder.records) == before
+
+
+# ----------------------------------------------------------------------
+# Zero-cost / zero-perturbation contract
+# ----------------------------------------------------------------------
+def test_unrecorded_scenarios_carry_no_recorder():
+    scenario = build_grid_scenario(
+        rows=3, cols=3, seed=1, device_config=experiment_device_config()
+    )
+    assert "recorder" not in scenario.extras
+    assert scenario.sim.recorder is None
+
+
+def test_observe_state_is_read_only():
+    scenario = build_grid_scenario(
+        rows=3, cols=3, seed=2, device_config=experiment_device_config()
+    )
+    pdd_experiment(2, metadata_count=150, scenario=scenario, sim_cap_s=40.0)
+    first = capture_network_state(
+        scenario.topology, scenario.medium, scenario.devices
+    )
+    second = capture_network_state(
+        scenario.topology, scenario.medium, scenario.devices
+    )
+    assert flatten_state(first) == flatten_state(second)
+
+
+def test_recorded_run_results_are_bit_identical():
+    def run(record):
+        if record:
+            with recording(path=None, interval_s=0.5):
+                outcome = pdd_experiment(3, rows=3, cols=3, metadata_count=150)
+        else:
+            outcome = pdd_experiment(3, rows=3, cols=3, metadata_count=150)
+        result = outcome.first
+        return (
+            result.recall,
+            result.result.latency,
+            outcome.total_overhead_bytes,
+            result.result.rounds,
+        )
+
+    assert run(record=False) == run(record=True)
+
+
+# ----------------------------------------------------------------------
+# Exactness: reconstruction == live capture, at every sample
+# ----------------------------------------------------------------------
+def test_reconstruction_matches_live_state_at_every_sample(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    live = []
+    with recording(path=str(path), interval_s=0.5, keyframe_every=4):
+        scenario = build_grid_scenario(
+            rows=3, cols=3, seed=1, device_config=experiment_device_config()
+        )
+        recorder = scenario.extras["recorder"]
+        original = recorder.sample
+
+        def spy(by="manual", round_index=None):
+            doc = original(by=by, round_index=round_index)
+            live.append(
+                (
+                    scenario.sim.now,
+                    doc["seq"],
+                    flatten_state(
+                        capture_network_state(
+                            scenario.topology, scenario.medium, scenario.devices
+                        )
+                    ),
+                )
+            )
+            return doc
+
+        recorder.sample = spy
+        pdd_experiment(1, metadata_count=150, scenario=scenario, sim_cap_s=40.0)
+
+    load = load_timeline(str(path))
+    assert len(load.runs) == 1
+    run = load.runs[0]
+
+    # Several samples can share one sim time (round edges + interval);
+    # reconstruct_at returns the *last* sample at <= t, so compare the
+    # last live capture per distinct time.
+    last_at_time = {}
+    for t, seq, flat in live:
+        last_at_time[t] = (seq, flat)
+    assert len(last_at_time) >= 8, "need a spread of sample times"
+    keyframe_hits = delta_hits = 0
+    for t, (seq, flat) in last_at_time.items():
+        sample_t, sample_seq, reconstructed = reconstruct_at(run, t)
+        assert sample_t == t
+        assert sample_seq == seq
+        assert reconstructed == flat, f"mismatch at t={t} seq={seq}"
+        if seq % 4 == 0:
+            keyframe_hits += 1
+        else:
+            delta_hits += 1
+    # The property must have been exercised on both record kinds.
+    assert keyframe_hits > 0
+    assert delta_hits > 0

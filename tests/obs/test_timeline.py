@@ -1,0 +1,286 @@
+"""Timeline loading, reconstruction, diffing, series and rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.recorder import SEP
+from repro.obs.timeline import (
+    DEFAULT_SERIES,
+    TimelineError,
+    diff_between,
+    inspect_timeline,
+    load_timeline,
+    net_series,
+    node_series,
+    reconstruct_at,
+    render_at,
+    render_diff,
+    render_timeline,
+    sparkline,
+    state_at,
+)
+
+
+def _key(node, *parts):
+    return SEP.join(["nodes", str(node), *parts])
+
+
+def _write(path, records):
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+def _synthetic(path):
+    """Two keyframes with deltas in between; one run, one node joining."""
+    records = [
+        {"rec": "meta", "run": 1, "t": 0.0, "interval": 1.0, "keyframe_every": 3},
+        {
+            "rec": "key",
+            "run": 1,
+            "seq": 0,
+            "t": 0.0,
+            "by": "start",
+            "state": {
+                _key(0, "lqt", "disc", "q1"): 5.0,
+                _key(0, "cdi", "size"): 0,
+                _key(0, "store", "metadata"): 10,
+                f"net{SEP}airtime_s": 0.0,
+                f"net{SEP}active_tx": 0,
+                f"net{SEP}degree{SEP}2": 1,
+            },
+        },
+        {
+            "rec": "delta",
+            "run": 1,
+            "seq": 1,
+            "t": 1.0,
+            "by": "interval",
+            "set": {
+                _key(0, "cdi", "size"): 3,
+                _key(1, "store", "metadata"): 4,
+                f"net{SEP}airtime_s": 0.5,
+            },
+            "del": [],
+        },
+        {
+            "rec": "delta",
+            "run": 1,
+            "seq": 2,
+            "t": 2.0,
+            "by": "interval",
+            "set": {f"net{SEP}airtime_s": 0.6},
+            "del": [_key(0, "lqt", "disc", "q1")],
+        },
+        {
+            "rec": "key",
+            "run": 1,
+            "seq": 3,
+            "t": 3.0,
+            "by": "interval",
+            "state": {
+                _key(0, "cdi", "size"): 3,
+                _key(0, "store", "metadata"): 10,
+                _key(1, "store", "metadata"): 4,
+                f"net{SEP}airtime_s": 0.6,
+                f"net{SEP}active_tx": 0,
+                f"net{SEP}degree{SEP}2": 1,
+            },
+        },
+    ]
+    _write(path, records)
+    return records
+
+
+def test_load_scopes_and_skips_foreign_lines(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    records = _synthetic(path)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"kind": "frame_sent", "t": 1.0}\n')  # trace event
+        handle.write("not json at all\n")
+    load = load_timeline(str(path))
+    assert load.skipped_lines == 2
+    assert len(load.runs) == 1
+    run = load.runs[0]
+    assert run.scope == ("tl.jsonl", 1)
+    assert run.meta["interval"] == 1.0
+    assert len(run.records) == len(records) - 1
+    assert run.t_min == 0.0 and run.t_max == 3.0
+
+
+def test_reconstruct_at_keyframe_and_delta_positions(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    _synthetic(path)
+    run = load_timeline(str(path)).runs[0]
+
+    t, seq, flat = reconstruct_at(run, 0.0)
+    assert (t, seq) == (0.0, 0)
+    assert flat[_key(0, "lqt", "disc", "q1")] == 5.0
+
+    # Delta position: keyframe + delta replay.
+    t, seq, flat = reconstruct_at(run, 1.5)  # between samples -> t=1 wins
+    assert (t, seq) == (1.0, 1)
+    assert flat[_key(0, "cdi", "size")] == 3
+    assert flat[_key(1, "store", "metadata")] == 4
+    assert flat[_key(0, "lqt", "disc", "q1")] == 5.0  # deleted only at t=2
+
+    t, seq, flat = reconstruct_at(run, 2.0)
+    assert _key(0, "lqt", "disc", "q1") not in flat
+
+    # Past the end -> final sample.
+    t, seq, flat = reconstruct_at(run, 99.0)
+    assert (t, seq) == (3.0, 3)
+
+
+def test_reconstruct_before_first_sample_raises(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    _synthetic(path)
+    run = load_timeline(str(path)).runs[0]
+    with pytest.raises(TimelineError):
+        reconstruct_at(run, -1.0)
+
+
+def test_reconstruct_without_keyframe_raises(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    _write(
+        path,
+        [
+            {"rec": "delta", "run": 1, "seq": 1, "t": 1.0, "set": {}, "del": []},
+        ],
+    )
+    run = load_timeline(str(path)).runs[0]
+    with pytest.raises(TimelineError):
+        reconstruct_at(run, 1.0)
+
+
+def test_state_at_unflattens(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    _synthetic(path)
+    run = load_timeline(str(path)).runs[0]
+    nested = state_at(run, 3.0)
+    assert nested["nodes"]["1"]["store"]["metadata"] == 4
+    assert nested["net"]["airtime_s"] == 0.6
+
+
+def test_diff_between(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    _synthetic(path)
+    run = load_timeline(str(path)).runs[0]
+    diff = diff_between(run, 0.0, 3.0)
+    assert diff["added"] == {_key(1, "store", "metadata"): 4}
+    assert diff["removed"] == {_key(0, "lqt", "disc", "q1"): 5.0}
+    assert diff["changed"][_key(0, "cdi", "size")] == (0, 3)
+    assert diff["changed"][f"net{SEP}airtime_s"] == (0.0, 0.6)
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == ""
+    assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+    ramp = sparkline([0, 1, 2, 3])
+    assert ramp[0] == "▁" and ramp[-1] == "█"
+    # Downsampling takes each bucket's max: a single spike must survive.
+    values = [0.0] * 300
+    values[150] = 10.0
+    assert "█" in sparkline(values, width=60)
+    assert len(sparkline(values, width=60)) == 60
+
+
+def test_node_series_count_and_value_modes(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    _synthetic(path)
+    run = load_timeline(str(path)).runs[0]
+    lqt = node_series(run, "lqt")  # count mode
+    assert lqt["0"] == [1.0, 1.0, 0.0, 0.0]
+    meta = node_series(run, "meta")  # value mode
+    assert meta["0"] == [10.0, 10.0, 10.0, 10.0]
+    # Node 1 joined at sample 1: zero-filled before it appeared.
+    assert meta["1"] == [0.0, 4.0, 4.0, 4.0]
+
+
+def test_node_series_rejects_unknown_name(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    _synthetic(path)
+    run = load_timeline(str(path)).runs[0]
+    with pytest.raises(TimelineError):
+        node_series(run, "nope")
+
+
+def test_net_series_differentiates_airtime(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    _synthetic(path)
+    run = load_timeline(str(path)).runs[0]
+    series = net_series(run)
+    assert series["active_tx"] == [0.0, 0.0, 0.0, 0.0]
+    # utilization = d(airtime)/dt between consecutive samples
+    assert series["airtime_util"] == pytest.approx([0.0, 0.5, 0.1, 0.0])
+    assert series["degree_mean"] == [2.0, 2.0, 2.0, 2.0]
+
+
+def test_render_timeline_mentions_series_and_nodes(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    _synthetic(path)
+    text = render_timeline(load_timeline(str(path)), series=DEFAULT_SERIES)
+    assert "timeline run tl.jsonl:1" in text
+    assert "airtime_util" in text
+    assert "series lqt" in text
+    assert "node 0" in text
+
+
+def test_render_at_tabulates_nodes(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    _synthetic(path)
+    text = render_at(load_timeline(str(path)), 3.0)
+    assert "state at t=3" in text
+    assert "node" in text and "lqt" in text and "chunks" in text
+
+
+def test_render_diff_lists_changes(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    _synthetic(path)
+    text = render_diff(load_timeline(str(path)), 0.0, 3.0)
+    assert "1 added, 1 removed, 2 rewritten" in text
+    assert "+ nodes.1.store.metadata = 4" in text
+    assert "- nodes.0.lqt.disc.q1" in text
+    assert "~ nodes.0.cdi.size: 0 -> 3" in text
+
+
+def test_inspect_timeline_exit_codes(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    _synthetic(path)
+    code, text = inspect_timeline(str(path), timeline=True)
+    assert code == 0 and "series lqt" in text
+    code, text = inspect_timeline(str(path), at=2.0)
+    assert code == 0 and "state at t=2" in text
+    # Reconstruction failure gates with exit 2 (the CI contract).
+    code, text = inspect_timeline(str(path), at=-5.0)
+    assert code == 2 and "timeline error" in text
+
+
+def test_inspect_timeline_json_mode(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    _synthetic(path)
+    code, text = inspect_timeline(
+        str(path), timeline=True, at=3.0, diff=(0.0, 3.0), as_json=True
+    )
+    assert code == 0
+    doc = json.loads(text)
+    assert doc["runs"][0]["samples"] == 4
+    assert doc["at"]["tl.jsonl:1"]["nodes"]["1"]["store"]["metadata"] == 4
+    assert doc["diff"]["tl.jsonl:1"]["changed"]["nodes.0.cdi.size"] == [0, 3]
+    assert "lqt" in doc["series"]["tl.jsonl:1"]
+
+
+def test_inspect_timeline_merges_shards(tmp_path):
+    _synthetic(tmp_path / "tl.0.jsonl")
+    records = _synthetic(tmp_path / "tl.1.jsonl")
+    for record in records:
+        record["run"] = 7
+    _write(tmp_path / "tl.1.jsonl", records)
+    # The base path expands to its per-worker shards, even when the base
+    # file itself was never written (workers own all the records).
+    load = load_timeline(str(tmp_path / "tl.jsonl"))
+    assert [run.scope for run in load.runs] == [
+        ("tl.0.jsonl", 1),
+        ("tl.1.jsonl", 7),
+    ]

@@ -7,6 +7,7 @@ from repro.obs.trace import (
     ListSink,
     RingBufferSink,
     TraceBus,
+    TraceEvent,
     global_sink,
     global_sinks,
     read_jsonl,
@@ -165,3 +166,61 @@ def test_emission_counts_tally_per_kind():
     bus.emit("a")
     bus.emit("b")
     assert bus.counts == {"a": 2, "b": 1}
+
+
+# ----------------------------------------------------------------------
+# JsonlSink durability (flush + fsync on exit, fork safety)
+# ----------------------------------------------------------------------
+def test_jsonl_sink_close_flushes_and_is_idempotent(tmp_path):
+    path = tmp_path / "t.jsonl"
+    sink = JsonlSink(str(path))
+    sink.handle(TraceEvent(1.0, "x", None, 1, {}))
+    sink.close()
+    sink.close()  # second close is a no-op
+    assert read_jsonl(str(path)) == [{"t": 1.0, "kind": "x", "run": 1}]
+    # Post-close events are dropped silently, not errors.
+    sink.handle(TraceEvent(2.0, "y", None, 1, {}))
+    assert read_jsonl(str(path)) == [{"t": 1.0, "kind": "x", "run": 1}]
+
+
+def test_jsonl_sink_context_manager_closes(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with JsonlSink(str(path)) as sink:
+        sink.handle(TraceEvent(1.0, "x", None, 1, {}))
+    assert sink._file is None
+    assert read_jsonl(str(path))
+
+
+def test_jsonl_sink_close_in_foreign_pid_keeps_file(tmp_path):
+    # A sink inherited across fork shares its buffer with the parent:
+    # closing in the child must neither flush nor drop the reference
+    # (dropping it would let GC close — and flush — the parent's bytes).
+    import os as _os
+
+    sink = JsonlSink(str(tmp_path / "t.jsonl"))
+    sink._pid = _os.getpid() + 1
+    sink.close()
+    assert sink._file is not None
+    sink.flush()  # pid-guarded too: must not touch the file
+    sink._pid = _os.getpid()
+    sink.close()
+
+
+def test_jsonl_sink_registers_atexit_close(tmp_path):
+    import atexit
+
+    unregistered = []
+    original = atexit.unregister
+
+    def spy(func):
+        unregistered.append(func)
+        return original(func)
+
+    atexit.unregister = spy
+    try:
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+    finally:
+        atexit.unregister = original
+    # close() tears down its own atexit hook (no leak across many runs).
+    assert sink.close in unregistered
