@@ -255,6 +255,117 @@ def bench_mobility_pdd(quick: bool) -> Dict[str, object]:
     )
 
 
+_SCALING_GRIDS_QUICK = ((5, 6), (8, 8), (11, 11))  # 30, 64, 121 nodes
+_SCALING_GRIDS_FULL = (
+    (5, 6),  # 30 nodes — the paper's smallest static grids
+    (8, 8),  # 64
+    (12, 12),  # 144
+    (18, 18),  # 324
+    (24, 24),  # 576
+    (32, 32),  # 1024 — the ROADMAP's city-scale target
+)
+
+
+@_bench("scaling", repeats=1)
+def bench_scaling(quick: bool) -> Dict[str, object]:
+    """Events/s vs node count: the kernel's scaling curve (30 → 1,000)."""
+    import gc
+    import resource
+
+    from repro.core.rounds import RoundConfig
+    from repro.experiments.figures.common import pdd_experiment
+    from repro.obs.kernelprof import KernelProfiler
+    from repro.obs.profile import RunProfiler
+
+    grids = _SCALING_GRIDS_QUICK if quick else _SCALING_GRIDS_FULL
+    curve: List[Dict[str, object]] = []
+    deterministic: List[List[object]] = []
+    total_wall = 0.0
+    total_events = 0
+    peak_queue = 0
+    for rows, cols in grids:
+        nodes = rows * cols
+        gc.collect()
+        profiler = RunProfiler()
+        kernel = KernelProfiler()
+        with _single_process(), profiler.activate(), kernel.activate():
+            start = time.perf_counter()
+            outcome = pdd_experiment(
+                seed=1,
+                rows=rows,
+                cols=cols,
+                metadata_count=2 * nodes,
+                # Two rounds bound convergence so the curve measures
+                # kernel throughput, not per-size protocol behaviour.
+                round_config=RoundConfig(max_rounds=2),
+                sim_cap_s=120.0,
+            )
+            wall = time.perf_counter() - start
+        summary = profiler.summary()
+        events = int(summary["events"])
+        point_peak = int(summary["peak_queue_depth"])
+        kernel_ns = kernel.kernel_ns
+        subsystems = sorted(
+            kernel.subsystem_totals().items(), key=lambda item: -item[1][1]
+        )
+        # ru_maxrss is the process high-water mark (KiB on Linux), so the
+        # curve is monotonic by construction: each point reports the peak
+        # up to and including its own run.
+        peak_rss_kb = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        first = outcome.first
+        deterministic.append(
+            [
+                nodes,
+                events,
+                point_peak,
+                round(first.recall, 6),
+                first.result.rounds,
+                outcome.total_overhead_bytes,
+            ]
+        )
+        curve.append(
+            {
+                "nodes": nodes,
+                "rows": rows,
+                "cols": cols,
+                "wall_s": round(wall, 6),
+                "events": events,
+                "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+                "peak_queue_depth": point_peak,
+                "peak_rss_kb": peak_rss_kb,
+                "kernel_share": round(kernel_ns / kernel.wall_ns, 4)
+                if kernel.wall_ns > 0
+                else 0.0,
+                "subsystems": {
+                    name: round(ns / kernel_ns, 4) if kernel_ns else 0.0
+                    for name, (_, ns) in subsystems[:4]
+                },
+                "recall": round(first.recall, 3),
+            }
+        )
+        print(
+            f"    {nodes:5d} nodes  wall {wall:7.3f}s  "
+            f"{events:8d} events  {events / wall if wall > 0 else 0:9.0f} ev/s  "
+            f"rss {peak_rss_kb / 1024:.0f} MiB",
+            flush=True,
+        )
+        total_wall += wall
+        total_events += events
+        peak_queue = max(peak_queue, point_peak)
+    result = _result(
+        total_wall,
+        events=total_events,
+        peak_queue_depth=peak_queue,
+        meta={"points": len(curve), "digest": _digest(deterministic)},
+    )
+    # Machine-dependent per-point data lives OUTSIDE meta: the repeat
+    # loop and the baseline check treat meta as deterministic, while the
+    # curve's wall times are gated per point with the speed-normalized
+    # tolerance (see _check_one).
+    result["curve"] = curve
+    return result
+
+
 @_bench("round_params", repeats=2)
 def bench_round_params(quick: bool) -> Dict[str, object]:
     """Reduced fig5 round-parameter sweep (static grid, heavy discovery)."""
@@ -313,19 +424,19 @@ def _check_one(
             f"{name}: output digest changed: "
             f"baseline {base_digest} != current {cur_digest}"
         )
+    # Normalize for machine speed: scale the baseline by the ratio of
+    # calibration-loop timings taken on each machine.
+    base_cal = baseline.get("calibration_s")
+    cur_cal = current.get("calibration_s")
+    speed_ratio = 1.0
+    if (
+        isinstance(base_cal, (int, float))
+        and isinstance(cur_cal, (int, float))
+        and base_cal > 0
+    ):
+        speed_ratio = float(cur_cal) / float(base_cal)
     base_wall = baseline.get("wall_s")
     if isinstance(base_wall, (int, float)) and base_wall >= MIN_GATED_WALL_S:
-        # Normalize for machine speed: scale the baseline by the ratio of
-        # calibration-loop timings taken on each machine.
-        base_cal = baseline.get("calibration_s")
-        cur_cal = current.get("calibration_s")
-        speed_ratio = 1.0
-        if (
-            isinstance(base_cal, (int, float))
-            and isinstance(cur_cal, (int, float))
-            and base_cal > 0
-        ):
-            speed_ratio = float(cur_cal) / float(base_cal)
         limit = base_wall * speed_ratio * (1.0 + tolerance)
         if float(current["wall_s"]) > limit:
             failures.append(
@@ -333,6 +444,40 @@ def _check_one(
                 f"{limit:.3f}s (baseline {base_wall:.3f}s × speed ratio "
                 f"{speed_ratio:.2f} + {tolerance:.0%})"
             )
+    # Scaling-curve benchmarks gate per point too, so a regression that
+    # only bites at large node counts cannot hide inside the total.
+    base_curve = baseline.get("curve")
+    cur_curve = current.get("curve")
+    if isinstance(base_curve, list) and isinstance(cur_curve, list):
+        cur_by_nodes = {
+            point.get("nodes"): point
+            for point in cur_curve
+            if isinstance(point, dict)
+        }
+        for base_point in base_curve:
+            if not isinstance(base_point, dict):
+                continue
+            nodes = base_point.get("nodes")
+            point = cur_by_nodes.get(nodes)
+            if point is None:
+                failures.append(
+                    f"{name}: curve point for {nodes} nodes missing "
+                    f"from current run"
+                )
+                continue
+            base_point_wall = base_point.get("wall_s")
+            if (
+                isinstance(base_point_wall, (int, float))
+                and base_point_wall >= MIN_GATED_WALL_S
+            ):
+                limit = base_point_wall * speed_ratio * (1.0 + tolerance)
+                if float(point.get("wall_s", 0.0)) > limit:
+                    failures.append(
+                        f"{name}: curve regression at {nodes} nodes: "
+                        f"{point['wall_s']:.3f}s > {limit:.3f}s "
+                        f"(baseline {base_point_wall:.3f}s × speed ratio "
+                        f"{speed_ratio:.2f} + {tolerance:.0%})"
+                    )
     return failures
 
 

@@ -15,6 +15,8 @@ Observability::
                                              # profile after the tables
     python -m repro inspect out.jsonl        # summarize a trace file
     python -m repro bench --quick --check    # perf-regression gate
+    python -m repro profile fig5 --flame out.txt   # kernel hotspots +
+                                                   # flamegraph export
 
 Flight recorder::
 
@@ -260,6 +262,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.bench import main as bench_main
 
         return bench_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "profile":
+        from repro.profilecli import main as profile_main
+
+        return profile_main(raw_argv[1:])
 
     args = build_parser().parse_args(raw_argv)
     if args.seeds is not None:

@@ -31,6 +31,7 @@ from repro.data.item import Chunk
 from repro.data.predicate import QuerySpec
 from repro.errors import ConfigurationError
 from repro.node.device import Device
+from repro.obs.memprof import memory_phase
 from repro.sim.process import Timer
 
 
@@ -91,6 +92,7 @@ class DiscoverySession:
             raise ConfigurationError("session already started")
         self._started = True
         self._running = True
+        memory_phase("discovery")
         device = self.device
         self.result = SessionResult(started_at=device.sim.now)
         device.metadata_listeners.append(self._on_metadata)
@@ -240,6 +242,7 @@ class RetrievalSession:
             raise ConfigurationError("session already started")
         self._started = True
         self._running = True
+        memory_phase("retrieval")
         device = self.device
         self.result = SessionResult(started_at=device.sim.now)
         device.chunk_listeners.append(self._on_chunk)
@@ -403,6 +406,7 @@ class MdrSession:
             raise ConfigurationError("session already started")
         self._started = True
         self._running = True
+        memory_phase("mdr_retrieval")
         device = self.device
         self.result = SessionResult(started_at=device.sim.now)
         device.chunk_listeners.append(self._on_chunk)

@@ -27,9 +27,11 @@ everything on the caller's thread, exactly as before.  With ``jobs>1``:
   each remaining trial in its own single-worker pool, so a
   deterministically crashing trial only takes itself down;
 * observability survives the fan-out: workers return their
-  :class:`~repro.obs.profile.RunProfiler` records and merged
-  :class:`~repro.obs.metrics.MetricsRegistry` snapshots, which the
-  parent folds into its active profiler / registry collector;
+  :class:`~repro.obs.profile.RunProfiler` records, merged
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshots, and (when
+  profiling is configured) :class:`~repro.obs.kernelprof.KernelProfiler`
+  snapshots, which the parent folds into its active profiler(s) /
+  registry collector;
 * process-wide JSONL trace sinks are sharded — worker ``k`` writes
   ``trace.k.jsonl`` next to the parent's ``trace.jsonl``.  Other sink
   types cannot cross a process boundary and raise
@@ -61,6 +63,8 @@ from typing import (
 
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments.metrics import AggregateMetrics, TrialFailure, TrialMetrics
+from repro.obs import kernelprof as obs_kernelprof
+from repro.obs import memprof as obs_memprof
 from repro.obs import recorder as obs_recorder
 from repro.obs import trace as obs_trace
 from repro.obs.audit import audit_extras
@@ -193,22 +197,31 @@ def _worker_init(
     shard_bases: Sequence[str],
     shard_counter: Any,
     timeline_shards: bool = False,
+    profile_trials: bool = False,
 ) -> None:
     """Per-worker-process setup.
 
     Forked workers inherit the parent's process-wide observability state:
     global trace sinks (whose file handles are shared with the parent),
-    the active profiler, open registry collectors, and open recorder
-    collectors.  All of it belongs to the parent, so drop it — workers
-    report back through their return values instead — then open this
-    worker's own JSONL trace shards and re-point any configured timeline
-    recording at this worker's shard.
+    the active profiler (run and kernel), memory telemetry, open registry
+    collectors, and open recorder collectors.  All of it belongs to the
+    parent, so drop it — workers report back through their return values
+    instead — then open this worker's own JSONL trace shards and re-point
+    any configured timeline recording at this worker's shard.
+
+    ``profile_trials`` carries the parent's kernel-profiling request
+    across the process boundary (start-method agnostic, unlike inherited
+    globals): the worker profiles its trials and ships the stats back in
+    its return value.
     """
     for sink in obs_trace.global_sinks():
         # Remove without closing: under fork the file object is shared
         # with the parent, and closing here would flush its buffer twice.
         obs_trace.remove_global_sink(sink)
     _clear_active()
+    obs_kernelprof._clear_active()
+    obs_kernelprof.request_profiling(profile_trials)
+    obs_memprof._clear_active()
     _clear_collectors()
     obs_recorder._clear_recorder_collectors()
     if shard_bases or timeline_shards:
@@ -239,23 +252,38 @@ def _audited_call(trial: Callable[..., Any], args: Tuple[Any, ...]) -> Any:
     When a timeline recording is configured (``timeline=`` knob, CLI
     ``--timeline`` or ``REPRO_TIMELINE``), the flight recorders the
     trial's scenarios attach are collected and their merged series summary
-    lands in ``TrialMetrics.extras["timeline"]``.  Campaigns with neither
-    skip all of this.
+    lands in ``TrialMetrics.extras["timeline"]``.  When kernel profiling
+    is configured (``repro profile``, ``REPRO_PROFILE``, or an active
+    :class:`~repro.obs.kernelprof.KernelProfiler`), the trial runs under
+    its own profiler; the per-trial summary lands in
+    ``extras["profile"]`` (the ``hot_subsystem`` / ``kernel_share``
+    columns) and the handler stats fold into the enclosing profiler.
+    Campaigns with none of these skip all of this.
     """
     tracing = bool(obs_trace.global_sinks())
     recording = obs_recorder.configured_recording() is not None
-    if not tracing and not recording:
+    profiling = obs_kernelprof.configured_profiling()
+    if not tracing and not recording and not profiling:
         return trial(*args)
     capture: Optional[obs_trace.ListSink] = None
     if tracing:
         capture = obs_trace.ListSink()
         obs_trace.install_global_sink(capture)
+    kernel = obs_kernelprof.KernelProfiler() if profiling else None
     try:
         with obs_recorder.collect_recorders() as recorders:
-            result = trial(*args)
+            if kernel is not None:
+                with kernel.activate():
+                    result = trial(*args)
+            else:
+                result = trial(*args)
     finally:
         if capture is not None:
             obs_trace.remove_global_sink(capture)
+    if kernel is not None:
+        outer = obs_kernelprof.active_kernel_profiler()
+        if outer is not None:
+            outer.merge(kernel)
     if isinstance(result, TrialMetrics):
         if capture is not None:
             result.extras["audit"] = audit_extras(
@@ -265,6 +293,8 @@ def _audited_call(trial: Callable[..., Any], args: Tuple[Any, ...]) -> Any:
             result.extras["timeline"] = obs_recorder.merge_summaries(
                 [recorder.summary() for recorder in recorders]
             )
+        if kernel is not None:
+            result.extras["profile"] = kernel.trial_summary()
     return result
 
 
@@ -299,21 +329,43 @@ def _run_task_in_worker(
     args: Tuple[Any, ...],
     label: str,
     timeout_s: Optional[float],
-) -> Tuple[Any, Tuple[Any, ...], Dict[str, Dict[str, object]]]:
+) -> Tuple[
+    Any,
+    Tuple[Any, ...],
+    Dict[str, Dict[str, object]],
+    Optional[Dict[str, object]],
+]:
     """Execute one trial out-of-process and package its observability.
 
-    Returns ``(value, profiler_records, metrics_snapshot)`` where the
-    snapshot merges every registry the trial's simulators created.
+    Returns ``(value, profiler_records, metrics_snapshot,
+    kernel_snapshot)`` where the metrics snapshot merges every registry
+    the trial's simulators created and the kernel snapshot (or ``None``
+    when profiling is off) carries this trial's handler stats for the
+    parent to fold into its own :class:`KernelProfiler`.
     """
     profiler = RunProfiler()
+    kernel = (
+        obs_kernelprof.KernelProfiler()
+        if obs_kernelprof.configured_profiling()
+        else None
+    )
     with collect_registries() as registries:
         with profiler.activate(), profiler.label(label):
             with _trial_deadline(timeout_s, label):
-                value = _audited_call(trial, args)
+                if kernel is not None:
+                    with kernel.activate():
+                        value = _audited_call(trial, args)
+                else:
+                    value = _audited_call(trial, args)
     merged = MetricsRegistry()
     for registry in registries:
         merged.merge_snapshot(registry.snapshot())
-    return value, tuple(profiler.records), merged.snapshot()
+    return (
+        value,
+        tuple(profiler.records),
+        merged.snapshot(),
+        kernel.snapshot() if kernel is not None else None,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -409,6 +461,8 @@ def _execute_parallel(
         context.Value("i", 0) if (shard_bases or timeline_shards) else None
     )
     profiler = active_profiler()
+    kernel = obs_kernelprof.active_kernel_profiler()
+    profile_trials = obs_kernelprof.configured_profiling()
     # Created here so it registers with the caller's collector (if any);
     # every worker snapshot is merged into it.
     campaign_metrics = MetricsRegistry()
@@ -428,7 +482,7 @@ def _execute_parallel(
                 max_workers=min(jobs, len(group)),
                 mp_context=context,
                 initializer=_worker_init,
-                initargs=(shard_bases, shard_counter, timeline_shards),
+                initargs=(shard_bases, shard_counter, timeline_shards, profile_trials),
             ) as pool:
                 futures = {
                     pool.submit(
@@ -438,7 +492,7 @@ def _execute_parallel(
                 }
                 for future, task in futures.items():
                     try:
-                        value, records, snapshot = future.result()
+                        value, records, snapshot, kernel_snap = future.result()
                     except BaseException as error:  # noqa: BLE001 — recorded
                         if isinstance(error, BrokenProcessPool):
                             saw_crash = True
@@ -457,6 +511,8 @@ def _execute_parallel(
                         values[task.key] = value
                         if profiler is not None:
                             profiler.extend(records)
+                        if kernel is not None and kernel_snap is not None:
+                            kernel.merge_snapshot(kernel_snap)
                         campaign_metrics.merge_snapshot(snapshot)
         if saw_crash:
             isolate = True

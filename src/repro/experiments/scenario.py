@@ -31,6 +31,7 @@ from repro.net.topology import (
 )
 from repro.node.config import DeviceConfig
 from repro.node.device import Device
+from repro.obs.memprof import memory_phase
 from repro.obs.recorder import FlightRecorder, configured_recording
 from repro.sim.rng import RngRegistry
 from repro.sim.simulator import Simulator
@@ -88,7 +89,9 @@ def _attach_recorder(scenario: Scenario) -> Scenario:
     """Start a flight recorder on the scenario when recording is configured.
 
     No-op (and no simulator events scheduled) otherwise — the zero-cost
-    contract for unrecorded runs lives here.
+    contract for unrecorded runs lives here.  Both builders funnel their
+    finished world through here, which also makes it the ``setup`` phase
+    boundary for memory telemetry.
     """
     config = configured_recording()
     if config is not None:
@@ -102,6 +105,7 @@ def _attach_recorder(scenario: Scenario) -> Scenario:
             writer=config.writer(),
         )
         scenario.extras["recorder"] = recorder.start()
+    memory_phase("setup")
     return scenario
 
 

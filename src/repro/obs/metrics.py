@@ -78,6 +78,7 @@ class Gauge:
         "max_value",
         "min_value",
         "samples",
+        "timed_samples",
         "area",
         "elapsed",
         "_last_set_t",
@@ -89,6 +90,11 @@ class Gauge:
         self.max_value: float = 0.0
         self.min_value: float = 0.0
         self.samples: int = 0
+        #: How many samples carried a time stamp.  ``twm`` is only an
+        #: honest summary when EVERY sample was timed (the integral then
+        #: covers the gauge's whole history); render/report paths check
+        #: ``timed_samples == samples`` before showing it.
+        self.timed_samples: int = 0
         #: Integral of value over time (only grows when ``now`` is given).
         self.area: float = 0.0
         #: Total time covered by the integral.
@@ -111,6 +117,7 @@ class Gauge:
                 self.area += self.value * span
                 self.elapsed += span
             self._last_set_t = now
+            self.timed_samples += 1
         self.value = value
         self.samples += 1
 
@@ -118,12 +125,25 @@ class Gauge:
         """Area under the step curve / covered time (0 when untimed)."""
         return self.area / self.elapsed if self.elapsed > 0 else 0.0
 
+    @property
+    def twm_valid(self) -> bool:
+        """Whether ``time_weighted_mean`` covers every recorded sample.
+
+        False for a never-timed gauge, and — the merge edge case — for a
+        gauge whose own samples were untimed but which absorbed a timed
+        snapshot via ``merge_snapshot``: its ``elapsed`` is positive, yet
+        the integral says nothing about the local untimed samples, so
+        reporting its twm would mislead.
+        """
+        return self.elapsed > 0 and self.timed_samples == self.samples
+
     def reset(self) -> None:
         """Forget all samples in place (holders keep a valid reference)."""
         self.value = 0.0
         self.max_value = 0.0
         self.min_value = 0.0
         self.samples = 0
+        self.timed_samples = 0
         self.area = 0.0
         self.elapsed = 0.0
         self._last_set_t = None
@@ -268,6 +288,7 @@ class MetricsRegistry:
                     "max": gauge.max_value,
                     "min": gauge.min_value,
                     "samples": gauge.samples,
+                    "timed_samples": gauge.timed_samples,
                     "twm": gauge.time_weighted_mean(),
                     "area": gauge.area,
                     "elapsed": gauge.elapsed,
@@ -321,8 +342,16 @@ class MetricsRegistry:
             gauge.samples += samples
             # Time-weighted accumulators add across processes (absent in
             # legacy snapshots).
-            gauge.area += float(data.get("area", 0.0))
-            gauge.elapsed += float(data.get("elapsed", 0.0))
+            area = float(data.get("area", 0.0))
+            elapsed = float(data.get("elapsed", 0.0))
+            gauge.area += area
+            gauge.elapsed += elapsed
+            # Legacy snapshots lack the timed-sample count; a snapshot
+            # with a positive integral came from all-timed sets (the only
+            # way the old code grew `elapsed`), an untimed one from none.
+            gauge.timed_samples += int(
+                data.get("timed_samples", samples if elapsed > 0 else 0)
+            )
         for name, data in snapshot.get("histograms", {}).items():
             counts = [
                 int(n) for n in data["buckets"].values()
@@ -368,7 +397,7 @@ class MetricsRegistry:
                     f"  {name:<36s} {gauge.value:g} (min {gauge.min_value:g}, "
                     f"max {gauge.max_value:g}"
                 )
-                if gauge.elapsed > 0:
+                if gauge.twm_valid:
                     line += f", twm {gauge.time_weighted_mean():g}"
                 lines.append(line + ")")
         if self._histograms:

@@ -38,14 +38,12 @@ knobs) and every scenario built afterwards attaches a recorder.
 
 from __future__ import annotations
 
-import atexit
-import json
-import multiprocessing.util
 import os
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.durable import DurableJsonlWriter
 
 #: Path separator inside flattened state keys (ASCII unit separator: it
 #: cannot collide with node ids, query ids, or hex item keys).
@@ -96,59 +94,20 @@ def unflatten_state(flat: Dict[str, Any]) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # Timeline writer
 # ----------------------------------------------------------------------
-class TimelineWriter:
+class TimelineWriter(DurableJsonlWriter):
     """Streams timeline records to a JSONL file, one object per line.
 
-    Closing flushes and ``fsync``\\ s so shard tails survive abrupt exits;
-    close runs automatically at interpreter exit (``atexit``) and at
-    multiprocessing-worker exit (``multiprocessing.util.Finalize`` —
-    workers leave through ``os._exit`` and skip normal shutdown).  Both
-    hooks are pid-guarded: a copy inherited across ``fork`` never touches
-    the parent's buffer.
+    All durability rules (flush+fsync on close, ``atexit`` hook, the
+    ``multiprocessing.util.Finalize`` for worker exits, pid-guarded close
+    under ``fork``) live in
+    :class:`~repro.obs.durable.DurableJsonlWriter`.
     """
 
     def __init__(self, path: str) -> None:
-        self.path = str(path)
-        self._file = open(self.path, "w", encoding="utf-8")
-        self._pid = os.getpid()
-        self.written = 0
-        atexit.register(self.close)
-        multiprocessing.util.Finalize(self, self.close, exitpriority=10)
+        super().__init__(path, finalize=True)
 
     def write(self, doc: Dict[str, Any]) -> None:
-        if self._file is None:
-            return
-        self._file.write(json.dumps(doc, separators=(",", ":")))
-        self._file.write("\n")
-        self.written += 1
-
-    def flush(self) -> None:
-        if self._file is not None and self._pid == os.getpid():
-            self._file.flush()
-
-    def close(self) -> None:
-        if self._file is None:
-            return
-        if self._pid != os.getpid():
-            # Inherited across fork: the buffer (and its unflushed bytes)
-            # belong to the parent process.  Keep the reference so nothing
-            # here ever flushes the parent's bytes a second time.
-            return
-        file = self._file
-        self._file = None
-        file.flush()
-        os.fsync(file.fileno())
-        file.close()
-        try:
-            atexit.unregister(self.close)
-        except Exception:  # pragma: no cover - unregister is best-effort
-            pass
-
-    def __enter__(self) -> "TimelineWriter":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+        self.write_doc(doc)
 
 
 # ----------------------------------------------------------------------

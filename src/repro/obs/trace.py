@@ -64,15 +64,15 @@ over them.
 
 from __future__ import annotations
 
-import atexit
 import itertools
 import json
-import os
 from collections import Counter as TallyCounter
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.obs.durable import DurableJsonlWriter
 
 _run_ids = itertools.count(1)
 
@@ -148,59 +148,21 @@ class RingBufferSink(TraceSink):
         return self.seen - len(self.events)
 
 
-class JsonlSink(TraceSink):
+class JsonlSink(DurableJsonlWriter, TraceSink):
     """Streams events to a file, one JSON object per line.
 
-    Closing flushes and ``fsync``\\ s so shard tails survive abrupt exits.
-    An ``atexit`` hook closes the sink at normal interpreter shutdown;
-    the parallel runner additionally registers a
-    ``multiprocessing.util.Finalize`` for worker shards (workers leave
-    through ``os._exit`` and skip ``atexit``).  Close is pid-guarded: a
-    sink inherited across ``fork`` never flushes the parent's buffer.
-    Usable as a context manager.
+    All durability rules (flush+fsync on close, ``atexit`` hook,
+    pid-guarded close under ``fork``) live in
+    :class:`~repro.obs.durable.DurableJsonlWriter`; the parallel runner
+    additionally registers a ``multiprocessing.util.Finalize`` for the
+    per-worker shards it opens.  Usable as a context manager.
     """
 
     def __init__(self, path: str) -> None:
-        self.path = str(path)
-        self._file = open(self.path, "w", encoding="utf-8")
-        self._pid = os.getpid()
-        self.written = 0
-        atexit.register(self.close)
+        DurableJsonlWriter.__init__(self, path)
 
     def handle(self, event: TraceEvent) -> None:
-        if self._file is None:
-            return
-        self._file.write(json.dumps(event.to_json_dict(), separators=(",", ":")))
-        self._file.write("\n")
-        self.written += 1
-
-    def flush(self) -> None:
-        if self._file is not None and self._pid == os.getpid():
-            self._file.flush()
-
-    def close(self) -> None:
-        if self._file is None:
-            return
-        if self._pid != os.getpid():
-            # Inherited across fork: the buffer (and its unflushed bytes)
-            # belong to the parent process.  Keep the reference so nothing
-            # here ever flushes the parent's bytes a second time.
-            return
-        file = self._file
-        self._file = None
-        file.flush()
-        os.fsync(file.fileno())
-        file.close()
-        try:
-            atexit.unregister(self.close)
-        except Exception:  # pragma: no cover - unregister is best-effort
-            pass
-
-    def __enter__(self) -> "JsonlSink":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+        self.write_doc(event.to_json_dict())
 
 
 def read_jsonl(path: str) -> List[Dict[str, object]]:

@@ -204,3 +204,68 @@ def test_tolerance_env_override(monkeypatch):
     assert bench._resolve_tolerance(0.1) == pytest.approx(0.1)
     monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "junk")
     assert bench._resolve_tolerance(None) == bench.DEFAULT_TOLERANCE
+
+
+# ----------------------------------------------------------------------
+# Scaling-curve gating
+# ----------------------------------------------------------------------
+def curve_record(**point_overrides):
+    point = {"nodes": 100, "wall_s": 1.0, "events": 5000}
+    point.update(point_overrides)
+    return record(curve=[{"nodes": 30, "wall_s": 0.2, "events": 900}, point])
+
+
+def test_check_passes_on_identical_curves():
+    assert _check_one("scaling", curve_record(), curve_record(), 0.25) == []
+
+
+def test_check_flags_per_point_curve_regression():
+    # The total wall stays within tolerance, but the large point alone
+    # regressed past it — the per-point gate must still catch it.
+    current = curve_record(wall_s=1.6)
+    current["wall_s"] = 1.1  # total within 25%
+    failures = _check_one("scaling", current, curve_record(), 0.25)
+    assert any("curve regression at 100 nodes" in f for f in failures)
+
+
+def test_check_flags_missing_curve_point():
+    current = record(curve=[{"nodes": 30, "wall_s": 0.2, "events": 900}])
+    failures = _check_one("scaling", current, curve_record(), 0.25)
+    assert any("curve point for 100 nodes missing" in f for f in failures)
+
+
+def test_check_normalizes_curve_points_by_machine_speed():
+    # 1.5x slower machine overall: a 1.4x slower point is fine...
+    current = curve_record(wall_s=1.4)
+    current["calibration_s"] = 0.15
+    current["wall_s"] = 1.6
+    assert _check_one("scaling", current, curve_record(), 0.25) == []
+    # ...but a 2.5x slower point is a regression even on that machine.
+    current = curve_record(wall_s=2.5)
+    current["calibration_s"] = 0.15
+    current["wall_s"] = 2.7
+    failures = _check_one("scaling", current, curve_record(), 0.25)
+    assert any("curve regression" in f for f in failures)
+
+
+def test_check_skips_curve_points_below_noise_floor():
+    baseline = record(curve=[{"nodes": 30, "wall_s": 0.01, "events": 900}])
+    current = record(curve=[{"nodes": 30, "wall_s": 0.04, "events": 900}])
+    assert _check_one("scaling", current, baseline, 0.25) == []
+
+
+def test_scaling_bench_quick_shape(tmp_path):
+    code = run_bench(["scaling", "--quick", "--out-dir", str(tmp_path)])
+    assert code == 0
+    result = json.loads((tmp_path / "BENCH_scaling.json").read_text())
+    assert result["schema"] == bench.SCHEMA_VERSION
+    curve = result["curve"]
+    assert [p["nodes"] for p in curve] == [30, 64, 121]
+    for point in curve:
+        assert point["events"] > 0
+        assert point["events_per_sec"] > 0
+        assert point["peak_rss_kb"] > 0
+        assert 0.0 < point["kernel_share"] <= 1.0
+        assert point["subsystems"]
+    assert result["meta"]["points"] == 3
+    assert result["events"] == sum(p["events"] for p in curve)

@@ -1,0 +1,75 @@
+"""Memory telemetry: phase snapshots, subsystem attribution, hooks."""
+
+import tracemalloc
+
+from repro.obs.memprof import (
+    MemoryTelemetry,
+    _subsystem_of_filename,
+    active_memory_telemetry,
+    memory_phase,
+)
+
+
+def test_subsystem_of_filename_mapping():
+    assert (
+        _subsystem_of_filename("/repo/src/repro/net/medium.py") == "net.medium"
+    )
+    assert _subsystem_of_filename("/repo/src/repro/bench.py") == "bench"
+    assert (
+        _subsystem_of_filename("/repo/src/repro/obs/__init__.py") == "obs"
+    )
+    assert _subsystem_of_filename("/usr/lib/python3/json/decoder.py") == (
+        "(stdlib/other)"
+    )
+
+
+def test_memory_phase_is_noop_when_inactive():
+    assert active_memory_telemetry() is None
+    memory_phase("setup")  # must not raise, must not start tracemalloc
+
+
+def test_activate_records_phases_and_stops_tracing():
+    was_tracing = tracemalloc.is_tracing()
+    telemetry = MemoryTelemetry(top=3)
+    with telemetry.activate():
+        assert tracemalloc.is_tracing()
+        assert active_memory_telemetry() is telemetry
+        ballast = [object() for _ in range(1000)]
+        memory_phase("alloc")
+        del ballast
+        memory_phase("free")
+    assert active_memory_telemetry() is None
+    assert tracemalloc.is_tracing() == was_tracing
+    assert [record.name for record in telemetry.phases] == ["alloc", "free"]
+    alloc = telemetry.phases[0]
+    assert alloc.current_kb > 0
+    assert alloc.peak_kb >= alloc.current_kb
+    assert len(alloc.growth) <= 3
+
+
+def test_render_and_summary():
+    telemetry = MemoryTelemetry()
+    assert "no phase boundaries" in telemetry.render()
+    with telemetry.activate():
+        data = list(range(5000))
+        memory_phase("grow")
+        del data
+    text = telemetry.render()
+    assert "grow" in text
+    assert "KiB" in text
+    summary = telemetry.summary()
+    assert summary["phases"] == 1
+    assert summary["peak_traced_kb"] > 0
+
+
+def test_experiment_crosses_phase_boundaries():
+    # setup (scenario build) + discovery + per-round boundaries all fire.
+    from repro.experiments.figures.common import pdd_experiment
+
+    telemetry = MemoryTelemetry()
+    with telemetry.activate():
+        pdd_experiment(seed=1, rows=3, cols=3, metadata_count=10)
+    names = [record.name for record in telemetry.phases]
+    assert "setup" in names
+    assert "discovery" in names
+    assert any(name.startswith("round_") for name in names)

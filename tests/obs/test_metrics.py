@@ -289,3 +289,75 @@ def test_render_mentions_twm_only_when_timed():
     untimed_line = next(line for line in lines if "untimed" in line)
     assert "twm 2" in timed_line
     assert "twm" not in untimed_line
+
+
+def test_merge_timed_snapshot_into_untimed_gauge_suppresses_twm():
+    # The merge edge case: a live gauge sampled WITHOUT timestamps absorbs
+    # a worker snapshot whose samples were all timed.  The merged elapsed
+    # is positive, but the integral says nothing about the local samples,
+    # so the render must not present a time-weighted mean.
+    parent = MetricsRegistry()
+    parent.gauge("queue").set(100.0)  # untimed local sample
+    worker = MetricsRegistry()
+    worker.gauge("queue").set(1.0, now=0.0)
+    worker.gauge("queue").set(1.0, now=4.0)
+    parent.merge_snapshot(worker.snapshot())
+    gauge = parent.gauge("queue")
+    assert gauge.elapsed == 4.0
+    assert gauge.samples == 3
+    assert gauge.timed_samples == 2
+    assert not gauge.twm_valid
+    queue_line = next(
+        line for line in parent.render().splitlines() if "queue" in line
+    )
+    assert "twm" not in queue_line
+
+
+def test_merge_timed_snapshots_all_timed_keeps_twm():
+    # All-timed merges stay valid: twm covers every sample on both sides.
+    parent = MetricsRegistry()
+    parent.gauge("queue").set(2.0, now=0.0)
+    parent.gauge("queue").set(2.0, now=2.0)
+    worker = MetricsRegistry()
+    worker.gauge("queue").set(4.0, now=0.0)
+    worker.gauge("queue").set(4.0, now=2.0)
+    parent.merge_snapshot(worker.snapshot())
+    gauge = parent.gauge("queue")
+    assert gauge.twm_valid
+    assert gauge.time_weighted_mean() == pytest.approx(3.0)
+    queue_line = next(
+        line for line in parent.render().splitlines() if "queue" in line
+    )
+    assert "twm 3" in queue_line
+
+
+def test_merge_legacy_timed_snapshot_counts_samples_as_timed():
+    # Legacy snapshots (no timed_samples key) with a positive integral
+    # could only have come from all-timed sets.
+    parent = MetricsRegistry()
+    parent.merge_snapshot(
+        {
+            "gauges": {
+                "queue": {
+                    "value": 3.0,
+                    "max": 3.0,
+                    "min": 1.0,
+                    "samples": 2,
+                    "area": 4.0,
+                    "elapsed": 2.0,
+                }
+            }
+        }
+    )
+    gauge = parent.gauge("queue")
+    assert gauge.timed_samples == 2
+    assert gauge.twm_valid
+    assert gauge.time_weighted_mean() == 2.0
+
+
+def test_gauge_reset_clears_timed_samples():
+    gauge = Gauge("g")
+    gauge.set(5.0, now=0.0)
+    gauge.reset()
+    assert gauge.timed_samples == 0
+    assert not gauge.twm_valid

@@ -284,3 +284,66 @@ def test_inspect_timeline_merges_shards(tmp_path):
         ("tl.0.jsonl", 1),
         ("tl.1.jsonl", 7),
     ]
+
+
+# ----------------------------------------------------------------------
+# --series downsampling edge cases
+# ----------------------------------------------------------------------
+def test_inspect_series_empty_timeline(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    path.write_text("")
+    code, text = inspect_timeline(str(path), timeline=True, series=["lqt"])
+    assert code == 0
+    assert "empty" in text
+
+
+def test_inspect_series_single_sample(tmp_path):
+    path = tmp_path / "tl.jsonl"
+    _write(
+        path,
+        [
+            {"rec": "meta", "run": 1, "t": 0.0, "interval": 1.0, "keyframe_every": 3},
+            {
+                "rec": "key",
+                "run": 1,
+                "seq": 0,
+                "t": 0.0,
+                "by": "start",
+                "state": {
+                    _key(0, "lqt", "disc", "q1"): 2.0,
+                    f"net{SEP}airtime_s": 0.0,
+                    f"net{SEP}active_tx": 0,
+                },
+            },
+        ],
+    )
+    code, text = inspect_timeline(str(path), timeline=True, series=["lqt"])
+    assert code == 0
+    assert "series lqt" in text
+    run = load_timeline(str(path)).runs[0]
+    for values in node_series(run, "lqt").values():
+        assert len(values) == 1
+        assert len(sparkline(values)) == 1
+
+
+def test_sparkline_single_flat_value():
+    assert sparkline([5.0]) == "▁"
+
+
+def test_sparkline_at_exact_downsample_threshold_keeps_every_sample():
+    # len(values) == width: no bucketing, each sample keeps its own cell.
+    values = [0.0] * 59 + [9.0]
+    line = sparkline(values, width=60)
+    assert len(line) == 60
+    assert line[:59] == "▁" * 59
+    assert line[-1] == "█"
+
+
+def test_sparkline_one_past_threshold_buckets_by_max():
+    # len(values) == width + 1: the last bucket covers two samples and a
+    # spike in either of them must survive the downsampling.
+    values = [0.0] * 60 + [9.0]
+    line = sparkline(values, width=60)
+    assert len(line) == 60
+    assert line.count("█") == 1
+    assert line[-1] == "█"
