@@ -118,6 +118,37 @@ def _single_process() -> Iterator[None]:
             os.environ["REPRO_JOBS"] = previous
 
 
+@contextmanager
+def _scheduler_env(name: str) -> Iterator[None]:
+    """Pin the event-kernel scheduler for one benchmark run."""
+    previous = os.environ.get("REPRO_SCHEDULER")
+    os.environ["REPRO_SCHEDULER"] = name
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SCHEDULER", None)
+        else:
+            os.environ["REPRO_SCHEDULER"] = previous
+
+
+def _peak_rss_kb(ru_maxrss: Optional[int] = None) -> int:
+    """This process's peak RSS in KiB, normalized per platform.
+
+    ``getrusage(...).ru_maxrss`` is KiB on Linux but *bytes* on macOS
+    (both straight from each kernel's ``struct rusage``), so treating it
+    as KiB unconditionally inflates the scaling curve's memory column
+    1024x on a Mac.
+    """
+    if ru_maxrss is None:
+        import resource
+
+        ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(ru_maxrss) // 1024
+    return int(ru_maxrss)
+
+
 def _result(
     wall_s: float,
     events: int,
@@ -266,11 +297,17 @@ _SCALING_GRIDS_FULL = (
 )
 
 
+#: Event-kernel schedulers the scaling benchmark compares.  The
+#: deterministic outputs of every grid must be identical across them
+#: (they are order-identical by contract); the digest covers every
+#: scheduler's outputs so any divergence fails ``--check`` loudly.
+_SCALING_SCHEDULERS = ("heap", "calendar")
+
+
 @_bench("scaling", repeats=1)
 def bench_scaling(quick: bool) -> Dict[str, object]:
-    """Events/s vs node count: the kernel's scaling curve (30 → 1,000)."""
+    """Events/s vs node count per scheduler: the kernel's scaling curve."""
     import gc
-    import resource
 
     from repro.core.rounds import RoundConfig
     from repro.experiments.figures.common import pdd_experiment
@@ -285,73 +322,88 @@ def bench_scaling(quick: bool) -> Dict[str, object]:
     peak_queue = 0
     for rows, cols in grids:
         nodes = rows * cols
-        gc.collect()
-        profiler = RunProfiler()
-        kernel = KernelProfiler()
-        with _single_process(), profiler.activate(), kernel.activate():
-            start = time.perf_counter()
-            outcome = pdd_experiment(
-                seed=1,
-                rows=rows,
-                cols=cols,
-                metadata_count=2 * nodes,
-                # Two rounds bound convergence so the curve measures
-                # kernel throughput, not per-size protocol behaviour.
-                round_config=RoundConfig(max_rounds=2),
-                sim_cap_s=120.0,
+        point_outputs: List[List[object]] = []
+        for scheduler in _SCALING_SCHEDULERS:
+            gc.collect()
+            profiler = RunProfiler()
+            kernel = KernelProfiler()
+            with _single_process(), _scheduler_env(scheduler), \
+                    profiler.activate(), kernel.activate():
+                start = time.perf_counter()
+                outcome = pdd_experiment(
+                    seed=1,
+                    rows=rows,
+                    cols=cols,
+                    metadata_count=2 * nodes,
+                    # Two rounds bound convergence so the curve measures
+                    # kernel throughput, not per-size protocol behaviour.
+                    round_config=RoundConfig(max_rounds=2),
+                    sim_cap_s=120.0,
+                )
+                wall = time.perf_counter() - start
+            summary = profiler.summary()
+            events = int(summary["events"])
+            point_peak = int(summary["peak_queue_depth"])
+            kernel_ns = kernel.kernel_ns
+            subsystems = sorted(
+                kernel.subsystem_totals().items(), key=lambda item: -item[1][1]
             )
-            wall = time.perf_counter() - start
-        summary = profiler.summary()
-        events = int(summary["events"])
-        point_peak = int(summary["peak_queue_depth"])
-        kernel_ns = kernel.kernel_ns
-        subsystems = sorted(
-            kernel.subsystem_totals().items(), key=lambda item: -item[1][1]
-        )
-        # ru_maxrss is the process high-water mark (KiB on Linux), so the
-        # curve is monotonic by construction: each point reports the peak
-        # up to and including its own run.
-        peak_rss_kb = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
-        first = outcome.first
-        deterministic.append(
-            [
-                nodes,
-                events,
-                point_peak,
-                round(first.recall, 6),
-                first.result.rounds,
-                outcome.total_overhead_bytes,
-            ]
-        )
-        curve.append(
-            {
-                "nodes": nodes,
-                "rows": rows,
-                "cols": cols,
-                "wall_s": round(wall, 6),
-                "events": events,
-                "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
-                "peak_queue_depth": point_peak,
-                "peak_rss_kb": peak_rss_kb,
-                "kernel_share": round(kernel_ns / kernel.wall_ns, 4)
-                if kernel.wall_ns > 0
-                else 0.0,
-                "subsystems": {
-                    name: round(ns / kernel_ns, 4) if kernel_ns else 0.0
-                    for name, (_, ns) in subsystems[:4]
-                },
-                "recall": round(first.recall, 3),
-            }
-        )
-        print(
-            f"    {nodes:5d} nodes  wall {wall:7.3f}s  "
-            f"{events:8d} events  {events / wall if wall > 0 else 0:9.0f} ev/s  "
-            f"rss {peak_rss_kb / 1024:.0f} MiB",
-            flush=True,
-        )
-        total_wall += wall
-        total_events += events
-        peak_queue = max(peak_queue, point_peak)
+            # The process-wide RSS high-water mark, so the curve is
+            # monotonic by construction: each point reports the peak up to
+            # and including its own run.
+            peak_rss_kb = _peak_rss_kb()
+            first = outcome.first
+            point_outputs.append(
+                [
+                    events,
+                    point_peak,
+                    round(first.recall, 6),
+                    first.result.rounds,
+                    outcome.total_overhead_bytes,
+                ]
+            )
+            curve.append(
+                {
+                    "nodes": nodes,
+                    "rows": rows,
+                    "cols": cols,
+                    "scheduler": scheduler,
+                    "wall_s": round(wall, 6),
+                    "events": events,
+                    "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+                    "peak_queue_depth": point_peak,
+                    "peak_rss_kb": peak_rss_kb,
+                    "kernel_share": round(kernel_ns / kernel.wall_ns, 4)
+                    if kernel.wall_ns > 0
+                    else 0.0,
+                    "subsystems": {
+                        name: round(ns / kernel_ns, 4) if kernel_ns else 0.0
+                        for name, (_, ns) in subsystems[:4]
+                    },
+                    "recall": round(first.recall, 3),
+                }
+            )
+            print(
+                f"    {nodes:5d} nodes  {scheduler:>8s}  wall {wall:7.3f}s  "
+                f"{events:8d} events  {events / wall if wall > 0 else 0:9.0f} ev/s  "
+                f"rss {peak_rss_kb / 1024:.0f} MiB",
+                flush=True,
+            )
+            total_wall += wall
+            total_events += events
+            peak_queue = max(peak_queue, point_peak)
+        # Every scheduler's deterministic outputs enter the digest, so a
+        # kernel that drifts from the heap reference — event counts, peak
+        # depth, recall, anything — fails --check, not just the oracle
+        # tests.  Identical kernels contribute identical sublists.
+        deterministic.append([nodes] + point_outputs)
+        if any(output != point_outputs[0] for output in point_outputs[1:]):
+            print(
+                f"    WARNING: schedulers disagree at {nodes} nodes: "
+                f"{dict(zip(_SCALING_SCHEDULERS, point_outputs))}",
+                file=sys.stderr,
+                flush=True,
+            )
     result = _result(
         total_wall,
         events=total_events,
@@ -446,11 +498,13 @@ def _check_one(
             )
     # Scaling-curve benchmarks gate per point too, so a regression that
     # only bites at large node counts cannot hide inside the total.
+    # Points are keyed by (nodes, scheduler): the curve carries one entry
+    # per event-kernel scheduler per grid size.
     base_curve = baseline.get("curve")
     cur_curve = current.get("curve")
     if isinstance(base_curve, list) and isinstance(cur_curve, list):
-        cur_by_nodes = {
-            point.get("nodes"): point
+        cur_by_key = {
+            (point.get("nodes"), point.get("scheduler")): point
             for point in cur_curve
             if isinstance(point, dict)
         }
@@ -458,10 +512,12 @@ def _check_one(
             if not isinstance(base_point, dict):
                 continue
             nodes = base_point.get("nodes")
-            point = cur_by_nodes.get(nodes)
+            scheduler = base_point.get("scheduler")
+            label = f"{nodes} nodes" + (f" [{scheduler}]" if scheduler else "")
+            point = cur_by_key.get((nodes, scheduler))
             if point is None:
                 failures.append(
-                    f"{name}: curve point for {nodes} nodes missing "
+                    f"{name}: curve point for {label} missing "
                     f"from current run"
                 )
                 continue
@@ -473,7 +529,7 @@ def _check_one(
                 limit = base_point_wall * speed_ratio * (1.0 + tolerance)
                 if float(point.get("wall_s", 0.0)) > limit:
                     failures.append(
-                        f"{name}: curve regression at {nodes} nodes: "
+                        f"{name}: curve regression at {label}: "
                         f"{point['wall_s']:.3f}s > {limit:.3f}s "
                         f"(baseline {base_point_wall:.3f}s × speed ratio "
                         f"{speed_ratio:.2f} + {tolerance:.0%})"
@@ -524,6 +580,15 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default: REPRO_BENCH_TOLERANCE or {DEFAULT_TOLERANCE})",
     )
     parser.add_argument(
+        "--scheduler",
+        choices=("heap", "calendar"),
+        default=None,
+        help="event-kernel scheduler for the figure benchmarks (sets "
+        "REPRO_SCHEDULER; the scaling benchmark always runs both). "
+        "Schedulers are order-identical, so --check digests must pass "
+        "under either.",
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help="write current results into the baseline file",
@@ -570,6 +635,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+
+    if args.scheduler is not None:
+        os.environ["REPRO_SCHEDULER"] = args.scheduler
 
     tolerance = _resolve_tolerance(args.tolerance)
     out_dir = Path(args.out_dir)

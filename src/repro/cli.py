@@ -7,6 +7,7 @@ Usage::
     python -m repro fig13_14 --seeds 5 --scale 1.0
     python -m repro all --seeds 2 --scale 0.25
     python -m repro fig4 --jobs 4          # 4 worker processes per sweep
+    python -m repro fig4 --scheduler calendar   # calendar-queue event kernel
 
 Observability::
 
@@ -76,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes per sweep (0 = one per CPU; default: "
         "REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=("heap", "calendar"),
+        default=None,
+        help="event-kernel scheduler (sets REPRO_SCHEDULER; both are "
+        "order-identical — outputs never change, only kernel speed)",
     )
     parser.add_argument(
         "--trace",
@@ -274,6 +282,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_SCALE"] = str(args.scale)
     if args.jobs is not None:
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.scheduler is not None:
+        os.environ["REPRO_SCHEDULER"] = args.scheduler
 
     if args.figure == "list":
         print("Available figures:")

@@ -302,11 +302,23 @@ def _audited_call(trial: Callable[..., Any], args: Tuple[Any, ...]) -> Any:
 def _trial_deadline(timeout_s: Optional[float], label: str) -> Iterator[None]:
     """Raise :class:`TrialTimeout` if the block runs longer than allowed.
 
+    Armed with ``signal.setitimer`` (not the integer-only
+    ``signal.alarm``), so sub-second deadlines like ``timeout_s=0.5``
+    fire at 0.5s instead of being truncated to "never".  ``None``
+    disables the deadline; a non-positive value is a configuration error,
+    never a silent no-op (``alarm(0)``-style "0 disarms the timer"
+    semantics would make a mistyped timeout vanish without a trace).
+
     Uses ``SIGALRM``, which only exists on Unix and only works on the
     main thread — both true inside a ProcessPoolExecutor worker.  On
     platforms without it the deadline is silently unenforced.
     """
-    if not timeout_s or not hasattr(signal, "SIGALRM"):
+    if timeout_s is not None and timeout_s <= 0:
+        raise ConfigurationError(
+            f"trial timeout must be a positive number of seconds "
+            f"(or None to disable), got {timeout_s!r}"
+        )
+    if timeout_s is None or not hasattr(signal, "SIGALRM"):
         yield
         return
 

@@ -58,6 +58,15 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 #: Collapsed-stack root frame (groups all handlers under one flame base).
 FLAME_ROOT = "repro-sim"
 
+#: Subsystem label of the schedulers' sentinel dispatch handlers (see
+#: :func:`repro.sim.event.scheduler_profile_key`).  The dispatch loop
+#: books per-event peek/pop time under these, so scheduler overhead shows
+#: up as its own subsystem instead of hiding in the profiled wall's idle
+#: remainder.  Entries under this subsystem carry *dispatch* counts, not
+#: fired events, so :attr:`KernelProfiler.events` excludes them — every
+#: simulator event would otherwise be counted twice.
+SCHEDULER_SUBSYSTEM = "sim.scheduler"
+
 
 def _subsystem_of(fn: Any) -> str:
     """Subsystem label for a handler function (module-derived)."""
@@ -166,8 +175,12 @@ class KernelProfiler:
 
     @property
     def events(self) -> int:
-        """Total events attributed so far."""
-        return sum(count for count, _ in self.stats().values())
+        """Total events attributed so far (scheduler dispatches excluded)."""
+        return sum(
+            count
+            for (subsystem, _), (count, _) in self.stats().items()
+            if subsystem != SCHEDULER_SUBSYSTEM
+        )
 
     @property
     def kernel_ns(self) -> int:
@@ -217,9 +230,19 @@ class KernelProfiler:
     # Reports
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, object]:
-        """Flat roll-up: totals, share of profiled wall, hottest entries."""
+        """Flat roll-up: totals, share of profiled wall, hottest entries.
+
+        ``events`` counts fired handler events; ``kernel_s`` /
+        ``kernel_share`` cover handler time *plus* scheduler dispatch time
+        (the ``sim.scheduler`` pseudo-subsystem), so the share reflects
+        everything the kernel does per event.
+        """
         stats = self.stats()
-        events = sum(count for count, _ in stats.values())
+        events = sum(
+            count
+            for (subsystem, _), (count, _) in stats.items()
+            if subsystem != SCHEDULER_SUBSYSTEM
+        )
         kernel_ns = sum(ns for _, ns in stats.values())
         subsystems = self.subsystem_totals()
         hot_subsystem = ""
@@ -259,10 +282,14 @@ class KernelProfiler:
         if not stats:
             return "kernel profile: no events attributed"
         kernel_ns = sum(ns for _, ns in stats.values())
-        events = sum(count for count, _ in stats.values())
+        events = sum(
+            count
+            for (subsystem, _), (count, _) in stats.items()
+            if subsystem != SCHEDULER_SUBSYSTEM
+        )
         lines = [
             f"kernel profile: {events} events, "
-            f"{kernel_ns / 1e9:.3f}s in handlers"
+            f"{kernel_ns / 1e9:.3f}s in handlers + scheduler"
             + (
                 f" ({kernel_ns / self.wall_ns:.1%} of {self.wall_ns / 1e9:.3f}s "
                 f"profiled wall)"

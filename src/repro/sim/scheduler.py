@@ -1,0 +1,344 @@
+"""Swappable event schedulers: the calendar queue and the name registry.
+
+The kernel's default scheduler is the binary heap in
+:mod:`repro.sim.event` (O(log n) per push/pop, every heap sift calling
+``Event.__lt__`` — a Python-level comparison).  At city scale the queue
+holds thousands of pending events and those comparisons become the
+kernel's own overhead.  :class:`CalendarScheduler` is the classic
+discrete-event answer (R. Brown, "Calendar Queues: A Fast O(1) Priority
+Queue Implementation for the Simulation Event Set Problem", CACM 1988): a
+ring of time-bucketed, individually sorted lists whose width and length
+adapt to the live event population, giving amortized O(1) push/pop with a
+handful of comparisons each.
+
+Both schedulers implement the :class:`~repro.sim.event.Scheduler`
+contract and are *order-identical* — the hypothesis oracle suite drives
+them with the same randomized push/cancel/clear/pop workloads and asserts
+identical pop sequences, and ``repro bench --check`` shows bit-identical
+output digests on every figure benchmark under either kernel.
+
+Selection::
+
+    Simulator(scheduler="calendar")        # explicit, per simulator
+    Simulator(scheduler=CalendarScheduler())   # bring your own instance
+    REPRO_SCHEDULER=calendar python -m repro fig4   # process-wide default
+    python -m repro --scheduler calendar fig4       # CLI sugar for the env
+
+When to pick which: the heap is branch-light and unbeatable for small
+queues (< a few hundred pending events); the calendar queue wins once the
+pending set grows into the thousands and heap sift depth — and with it
+the number of Python-level ``__lt__`` calls per operation — keeps
+climbing.  See DESIGN.md §11 for the measured crossover.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import insort
+from itertools import count
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.event import (
+    DEFAULT_PRIORITY,
+    Event,
+    EventQueue,
+    HeapScheduler,
+    Scheduler,
+    scheduler_profile_key,
+)
+
+#: Environment knob naming the process-wide default scheduler.
+SCHEDULER_ENV = "REPRO_SCHEDULER"
+
+DEFAULT_SCHEDULER = "heap"
+
+
+class CalendarScheduler(Scheduler):
+    """A dynamically resized calendar queue of :class:`Event` objects.
+
+    Events live in a ring of ``nbuckets`` buckets; an event at time ``t``
+    belongs to ring slot ``int(t / width) % nbuckets``.  Each bucket is a
+    list kept sorted by the full ``(time, priority, sequence)`` order via
+    ``bisect.insort`` — events at the *same* instant always map to the
+    same bucket, so the within-bucket sort is the only tiebreak that ever
+    runs and FIFO ties stay exact.
+
+    Dequeue scans ring slots in virtual-time order starting from the last
+    pop's bucket, accepting a bucket head only when its own virtual bucket
+    number ``int(t / width)`` equals the slot currently being scanned (an
+    exact integer test, immune to the float drift of the textbook
+    "bucket_top" accumulation; ``int(t / w)`` is weakly monotonic in ``t``
+    because IEEE division is, so the first accepted head is the global
+    minimum).  If a full ring pass finds nothing — the live set is sparse
+    relative to the bucket width — it falls back to a direct search over
+    all buckets and jumps the cursor there.
+
+    The ring doubles when the stored population exceeds ``2 * nbuckets``
+    and halves below ``nbuckets / 2`` (never under ``MIN_BUCKETS``); each
+    resize drops lazily-cancelled ghosts wholesale and re-derives the
+    bucket width from the live events' mean inter-event gap, keeping
+    density near one event per bucket so both the in-bucket sort and the
+    ring scan stay O(1) amortized.
+    """
+
+    name = "calendar"
+    profile_key = staticmethod(scheduler_profile_key("CalendarScheduler"))
+
+    #: Ring-size floor; also the size a fresh/cleared scheduler starts at.
+    MIN_BUCKETS = 8
+
+    #: Bucket-width multiplier over the mean inter-event gap.  Brown's
+    #: experiments put the optimum near 3 for typical event-time jitter:
+    #: wide enough that same-burst events share a bucket, narrow enough
+    #: that a year's scan touches few occupied buckets.
+    WIDTH_FACTOR = 3.0
+
+    def __init__(
+        self,
+        bucket_width: Optional[float] = None,
+        nbuckets: int = MIN_BUCKETS,
+    ) -> None:
+        if bucket_width is not None and bucket_width <= 0:
+            raise ConfigurationError(
+                f"calendar bucket_width must be positive, got {bucket_width}"
+            )
+        if nbuckets < 1:
+            raise ConfigurationError(
+                f"calendar nbuckets must be at least 1, got {nbuckets}"
+            )
+        self._counter = count()
+        self._active = 0  # live events (the Scheduler contract's len)
+        self._stored = 0  # physically stored, including cancelled ghosts
+        self._width = float(bucket_width) if bucket_width else 1.0
+        self._auto_width = bucket_width is None
+        self._nbuckets = nbuckets
+        self._buckets: List[List[Event]] = [[] for _ in range(nbuckets)]
+        #: Absolute virtual bucket number the next dequeue scan starts at
+        #: (slot = _virtual % _nbuckets; bucket numbers count whole years).
+        self._virtual = 0
+        #: Bucket located by the last peek, so the peek_time/pop pair the
+        #: simulator loop issues per event scans the ring once, not twice.
+        #: Invalidated by anything that could change the minimum from
+        #: below (push/clear/resize); a cancelled head is detected by
+        #: re-checking ``cancelled`` at pop time.
+        self._head: Optional[List[Event]] = None
+
+    # ------------------------------------------------------------------
+    # Scheduler interface
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Insert a new event and return it (so callers may cancel it)."""
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            callback=callback,
+            args=args,
+        )
+        event._queue = self
+        self._head = None  # the new event may undercut the cached minimum
+        virtual = int(time / self._width)
+        bucket = self._buckets[virtual % self._nbuckets]
+        if not bucket or bucket[-1] < event:
+            bucket.append(event)  # tail fast-path: typical for fresh events
+        else:
+            insort(bucket, event)
+        self._active += 1
+        self._stored += 1
+        if virtual < self._virtual:
+            # Earlier than the scan cursor: rewind so the scan can't miss it.
+            self._virtual = virtual
+        if self._stored > 2 * self._nbuckets:
+            self._resize(2 * self._nbuckets)
+        return event
+
+    def pop(self) -> Event:
+        # Reuse the bucket peek_time just located when it is still valid:
+        # pops clear the cache and pushes invalidate it, so the only
+        # mutation that can sneak in between is a lazy cancel — which the
+        # ``cancelled`` re-check catches (a cancel never makes a *smaller*
+        # minimum appear, so a live cached head is still the global min).
+        bucket = self._head
+        if bucket is None or not bucket or bucket[0].cancelled:
+            bucket = self._locate()
+            if bucket is None:
+                raise SimulationError("pop() from an empty event queue")
+        self._head = None
+        event = bucket.pop(0)
+        event._queue = None
+        self._active -= 1
+        self._stored -= 1
+        self._virtual = int(event.time / self._width)
+        if self._stored < self._nbuckets // 2 and self._nbuckets > self.MIN_BUCKETS:
+            self._resize(self._nbuckets // 2)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        bucket = self._locate()
+        self._head = bucket
+        return bucket[0].time if bucket else None
+
+    def clear(self) -> None:
+        """Discard all pending events, severing every back-reference."""
+        for bucket in self._buckets:
+            for event in bucket:
+                event._queue = None
+            bucket.clear()
+        self._active = 0
+        self._stored = 0
+        self._virtual = 0
+        self._head = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _purge_head(self, bucket: List[Event]) -> None:
+        """Drop leading cancelled ghosts (lazy cancellation, exact _stored)."""
+        while bucket and bucket[0].cancelled:
+            bucket[0]._queue = None
+            del bucket[0]
+            self._stored -= 1
+
+    def _locate(self) -> Optional[List[Event]]:
+        """Find the bucket whose head is the earliest live event.
+
+        Advances the scan cursor to that event's bucket and returns the
+        bucket (head guaranteed live) without removing anything, so
+        :meth:`peek_time` and :meth:`pop` share the search.  Returns
+        ``None`` when no live events remain.
+        """
+        if self._active == 0:
+            return None
+        width = self._width
+        nbuckets = self._nbuckets
+        buckets = self._buckets
+        virtual = self._virtual
+        for _ in range(nbuckets):
+            bucket = buckets[virtual % nbuckets]
+            while bucket:  # inline ghost purge: this loop is the hot path
+                head = bucket[0]
+                if not head.cancelled:
+                    if int(head.time / width) == virtual:
+                        self._virtual = virtual
+                        return bucket
+                    break
+                head._queue = None
+                del bucket[0]
+                self._stored -= 1
+            virtual += 1
+        # Full ring scanned without a hit: the live set is sparse relative
+        # to the bucket width.  Jump straight to the global minimum.
+        best: Optional[List[Event]] = None
+        for bucket in self._buckets:
+            self._purge_head(bucket)
+            if bucket and (best is None or bucket[0] < best[0]):
+                best = bucket
+        if best is None:  # every stored event was a cancelled ghost
+            return None
+        self._virtual = int(best[0].time / self._width)
+        return best
+
+    def _resize(self, nbuckets: int) -> None:
+        """Rebuild the ring at a new size, purging ghosts and retuning width."""
+        nbuckets = max(self.MIN_BUCKETS, nbuckets)
+        self._head = None
+        events: List[Event] = []
+        for bucket in self._buckets:
+            for event in bucket:
+                if event.cancelled:
+                    event._queue = None
+                else:
+                    events.append(event)
+        events.sort()
+        self._stored = len(events)
+        if self._auto_width and len(events) >= 2:
+            span = events[-1].time - events[0].time
+            if span > 0.0:
+                width = self.WIDTH_FACTOR * span / (len(events) - 1)
+                # Guard degenerate spans (e.g. one outlier far away from a
+                # same-instant burst) from collapsing the width to a
+                # denormal that turns int(t / width) into huge integers.
+                if width > 1e-9:
+                    self._width = width
+        self._nbuckets = nbuckets
+        self._buckets = [[] for _ in range(nbuckets)]
+        width = self._width
+        for event in events:
+            # Events arrive in global sorted order, so plain appends keep
+            # every bucket sorted without re-running insort.
+            self._buckets[int(event.time / width) % nbuckets].append(event)
+        self._virtual = int(events[0].time / width) if events else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CalendarScheduler(live={self._active}, stored={self._stored}, "
+            f"nbuckets={self._nbuckets}, width={self._width:g})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry / factory
+# ----------------------------------------------------------------------
+#: name -> zero-argument scheduler factory.
+SCHEDULERS: Dict[str, Callable[[], Scheduler]] = {
+    "heap": HeapScheduler,
+    "calendar": CalendarScheduler,
+}
+
+SCHEDULER_NAMES = tuple(SCHEDULERS)
+
+
+def configured_scheduler(default: str = DEFAULT_SCHEDULER) -> str:
+    """The process-wide scheduler name, honouring ``REPRO_SCHEDULER``.
+
+    Raises:
+        ConfigurationError: when ``REPRO_SCHEDULER`` names no registered
+            scheduler.
+    """
+    raw = os.environ.get(SCHEDULER_ENV)
+    if not raw:
+        return default
+    name = raw.strip().lower()
+    if name not in SCHEDULERS:
+        raise ConfigurationError(
+            f"{SCHEDULER_ENV} must be one of {', '.join(SCHEDULER_NAMES)}; "
+            f"got {raw!r}"
+        )
+    return name
+
+
+def resolve_scheduler(
+    spec: Union[str, Scheduler, None] = None,
+) -> Scheduler:
+    """Build (or pass through) the scheduler a simulator should use.
+
+    ``None`` resolves the ``REPRO_SCHEDULER`` env knob (default: heap); a
+    string is looked up in the registry; a :class:`Scheduler` instance is
+    used as-is (callers own its lifecycle — hand each simulator its own).
+
+    Raises:
+        ConfigurationError: on unknown names or unsupported spec types.
+    """
+    if spec is None:
+        spec = configured_scheduler()
+    if isinstance(spec, Scheduler):
+        return spec
+    if isinstance(spec, str):
+        factory = SCHEDULERS.get(spec.strip().lower())
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown scheduler {spec!r}; "
+                f"choose from {', '.join(SCHEDULER_NAMES)}"
+            )
+        return factory()
+    raise ConfigurationError(
+        f"scheduler must be a name ({', '.join(SCHEDULER_NAMES)}) or a "
+        f"Scheduler instance, got {type(spec).__name__}"
+    )

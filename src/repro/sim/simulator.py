@@ -9,14 +9,15 @@ with :meth:`Simulator.schedule` (relative delay) or :meth:`Simulator.at`
 from __future__ import annotations
 
 from time import perf_counter, perf_counter_ns
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from repro.errors import SimulationError
 from repro.obs.kernelprof import active_kernel_profiler
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import active_profiler
 from repro.obs.trace import TraceBus, global_sinks
-from repro.sim.event import DEFAULT_PRIORITY, Event, EventQueue
+from repro.sim.event import DEFAULT_PRIORITY, Event, Scheduler
+from repro.sim.scheduler import resolve_scheduler
 
 
 class Simulator:
@@ -30,16 +31,27 @@ class Simulator:
             histograms recorded by the stack).
         events_processed: Total events fired over the simulator's life.
         peak_queue_depth: Largest event-queue length observed while running.
+        scheduler_name: Registry name of the pending-event scheduler this
+            simulator runs on (``"heap"`` unless selected otherwise).
         recorder: The attached flight recorder
             (:class:`repro.obs.recorder.FlightRecorder`), or ``None``.
             Left ``None`` unless a recording is configured — the event
             loop itself never consults it, so a disabled recorder adds
             zero per-event cost.
+
+    Args:
+        scheduler: Pending-event scheduler selection — a registry name
+            (``"heap"``/``"calendar"``), a ready
+            :class:`~repro.sim.event.Scheduler` instance, or ``None`` to
+            honour the ``REPRO_SCHEDULER`` env knob (default: heap).  All
+            registered schedulers are order-identical, so the choice
+            affects kernel speed only, never simulation outputs.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, scheduler: Union[str, Scheduler, None] = None) -> None:
         self.now: float = 0.0
-        self._queue = EventQueue()
+        self._queue = resolve_scheduler(scheduler)
+        self.scheduler_name: str = self._queue.name
         self._running = False
         self._stopped = False
         self.trace = TraceBus(clock=lambda: self.now)
@@ -145,19 +157,31 @@ class Simulator:
                 # separate branch (not per-event `if kernel` checks) so the
                 # unprofiled path is byte-for-byte the original loop and
                 # profiler-off runs stay bit-identical.  Timing wraps only
-                # the fire() call; event order, clock, and RNG draws are
-                # untouched, so profiled runs keep exact output digests.
-                # The accumulator update is inlined (rather than calling
-                # kernel.note) to keep profiled overhead under the <10%
-                # budget on event-dense workloads.
+                # the scheduler's peek/pop and the fire() call; event
+                # order, clock, and RNG draws are untouched, so profiled
+                # runs keep exact output digests.  The accumulator update
+                # is inlined (rather than calling kernel.note) to keep
+                # profiled overhead under the <10% budget on event-dense
+                # workloads.  Scheduler dispatch time is booked under the
+                # scheduler's own sentinel handler so it surfaces as a
+                # `sim.scheduler` subsystem; push time lands in whichever
+                # handler scheduled the event, like any other work a
+                # handler does.
                 acc_map = kernel._acc
+                sched_key = queue.profile_key
+                sched_acc = acc_map.get(sched_key)
+                if sched_acc is None:
+                    sched_acc = acc_map[sched_key] = [0, 0]
                 while queue and not self._stopped:
+                    sched_start = perf_counter_ns()
                     next_time = queue.peek_time()
                     if next_time is None:
                         break
                     if until is not None and next_time > until:
                         break
                     event = queue.pop()
+                    sched_acc[0] += 1
+                    sched_acc[1] += perf_counter_ns() - sched_start
                     if event.time < self.now:
                         raise SimulationError(
                             f"event queue yielded past event (t={event.time} < now={self.now})"

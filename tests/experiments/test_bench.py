@@ -260,12 +260,51 @@ def test_scaling_bench_quick_shape(tmp_path):
     result = json.loads((tmp_path / "BENCH_scaling.json").read_text())
     assert result["schema"] == bench.SCHEMA_VERSION
     curve = result["curve"]
-    assert [p["nodes"] for p in curve] == [30, 64, 121]
+    # One point per (grid, scheduler): the curve carries both kernels.
+    assert [p["nodes"] for p in curve] == [30, 30, 64, 64, 121, 121]
+    assert [p["scheduler"] for p in curve] == ["heap", "calendar"] * 3
     for point in curve:
         assert point["events"] > 0
         assert point["events_per_sec"] > 0
         assert point["peak_rss_kb"] > 0
         assert 0.0 < point["kernel_share"] <= 1.0
         assert point["subsystems"]
-    assert result["meta"]["points"] == 3
+    # Order-identity: both kernels must process identical event counts.
+    by_nodes = {}
+    for point in curve:
+        by_nodes.setdefault(point["nodes"], []).append(
+            (point["events"], point["peak_queue_depth"], point["recall"])
+        )
+    for nodes, outputs in by_nodes.items():
+        assert outputs[0] == outputs[1], f"schedulers disagree at {nodes}"
+    assert result["meta"]["points"] == 6
     assert result["events"] == sum(p["events"] for p in curve)
+
+
+# ----------------------------------------------------------------------
+# Peak-RSS platform normalization
+# ----------------------------------------------------------------------
+def test_peak_rss_kb_linux_passthrough(monkeypatch):
+    """Linux ``ru_maxrss`` is already KiB and must pass through."""
+    monkeypatch.setattr(bench.sys, "platform", "linux")
+    assert bench._peak_rss_kb(204800) == 204800
+
+
+def test_peak_rss_kb_darwin_bytes_normalized(monkeypatch):
+    """Regression: macOS reports ``ru_maxrss`` in *bytes*; treating it as
+    KiB inflated the reported peak 1024x."""
+    monkeypatch.setattr(bench.sys, "platform", "darwin")
+    assert bench._peak_rss_kb(209715200) == 204800  # 200 MiB in bytes
+
+
+def test_peak_rss_kb_reads_getrusage(monkeypatch):
+    import resource
+
+    class FakeUsage:
+        ru_maxrss = 123456
+
+    monkeypatch.setattr(bench.sys, "platform", "linux")
+    monkeypatch.setattr(
+        resource, "getrusage", lambda who: FakeUsage(), raising=True
+    )
+    assert bench._peak_rss_kb() == 123456

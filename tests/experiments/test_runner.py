@@ -1,11 +1,16 @@
 """Unit tests for the trial runner and table rendering."""
 
+import signal
+import time
+
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments.metrics import TrialMetrics
 from repro.experiments.runner import (
     DEFAULT_SEEDS,
+    TrialTimeout,
+    _trial_deadline,
     configured_jobs,
     configured_seeds,
     configured_trial_timeout,
@@ -95,6 +100,44 @@ def test_configured_trial_timeout(monkeypatch):
     monkeypatch.setenv("REPRO_TRIAL_TIMEOUT", "soon")
     with pytest.raises(ConfigurationError):
         configured_trial_timeout()
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGALRM"), reason="deadline needs SIGALRM (Unix)"
+)
+def test_trial_deadline_fires_on_subsecond_timeout():
+    """Regression: an integer ``signal.alarm`` would truncate 0.5s to 0
+    ("never"); ``setitimer`` must fire the deadline at ~0.5s."""
+    start = time.monotonic()
+    with pytest.raises(TrialTimeout, match="0.5s deadline"):
+        with _trial_deadline(0.5, "sleepy-trial"):
+            time.sleep(5.0)
+    assert time.monotonic() - start < 2.0
+
+
+@pytest.mark.parametrize("bad", [0, 0.0, -1.5])
+def test_trial_deadline_rejects_non_positive_timeout(bad):
+    """A non-positive timeout must be a loud error, not an ``alarm(0)``
+    style silent disarm."""
+    with pytest.raises(ConfigurationError, match="positive"):
+        with _trial_deadline(bad, "x"):
+            pass  # pragma: no cover - never entered
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGALRM"), reason="deadline needs SIGALRM (Unix)"
+)
+def test_trial_deadline_disarms_and_restores_handler():
+    previous = signal.getsignal(signal.SIGALRM)
+    with _trial_deadline(0.2, "quick"):
+        pass
+    assert signal.getsignal(signal.SIGALRM) is previous
+    time.sleep(0.3)  # would blow up here if the timer were left armed
+
+
+def test_trial_deadline_none_disables():
+    with _trial_deadline(None, "x"):
+        pass
 
 
 def test_run_trials_aggregates():

@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs.kernelprof import (
     FLAME_ROOT,
+    SCHEDULER_SUBSYSTEM,
     KernelProfiler,
     _clear_active,
     active_kernel_profiler,
@@ -78,8 +79,12 @@ def test_events_and_kernel_ns_totals():
 # ----------------------------------------------------------------------
 # Simulator hook
 # ----------------------------------------------------------------------
-def test_simulator_attributes_events_while_active():
-    sim = Simulator()
+@pytest.mark.parametrize(
+    "scheduler, dispatch_handler",
+    [("heap", "HeapScheduler.dispatch"), ("calendar", "CalendarScheduler.dispatch")],
+)
+def test_simulator_attributes_events_while_active(scheduler, dispatch_handler):
+    sim = Simulator(scheduler=scheduler)
     device = _Device()
     for i in range(7):
         sim.schedule(float(i), device.on_tick)
@@ -87,10 +92,18 @@ def test_simulator_attributes_events_while_active():
     with profiler.activate():
         sim.run()
     assert device.fired == 7
+    # Scheduler dispatch time is attributed as its own subsystem but
+    # excluded from the fired-event total (it would double-count).
     assert profiler.events == 7
     assert profiler.kernel_ns > 0
-    ((_, handler),) = profiler.stats().keys()
-    assert handler == "_Device.on_tick"
+    stats = profiler.stats()
+    assert {handler for _, handler in stats.keys()} == {
+        "_Device.on_tick",
+        dispatch_handler,
+    }
+    dispatch_count, dispatch_ns = stats[(SCHEDULER_SUBSYSTEM, dispatch_handler)]
+    assert dispatch_count == 7  # one dispatch per fired event
+    assert dispatch_ns > 0
 
 
 def test_simulator_untouched_when_inactive():

@@ -1,23 +1,34 @@
 """Lazy-cancellation accounting: cancelled-but-unpopped events must not
 inflate ``len(queue)`` — and therefore ``Simulator.peak_queue_depth`` —
-no matter which cancellation entry point is used."""
+no matter which cancellation entry point is used or which scheduler
+backs the kernel."""
 
-from repro.sim.event import EventQueue
+import pytest
+
+from repro.sim.scheduler import SCHEDULER_NAMES, SCHEDULERS
 from repro.sim.simulator import Simulator
 
 
-def test_len_counts_only_active_events():
-    queue = EventQueue()
+@pytest.fixture(params=sorted(SCHEDULERS))
+def queue(request):
+    return SCHEDULERS[request.param]()
+
+
+@pytest.fixture(params=sorted(SCHEDULER_NAMES))
+def sim(request):
+    return Simulator(scheduler=request.param)
+
+
+def test_len_counts_only_active_events(queue):
     events = [queue.push(float(i), lambda: None) for i in range(5)]
     assert len(queue) == 5
     queue.cancel(events[0])
     assert len(queue) == 4
 
 
-def test_direct_event_cancel_updates_queue_len():
+def test_direct_event_cancel_updates_queue_len(queue):
     """`event.cancel()` (not via the queue) must keep accounting exact —
     this is the path retransmission timers use."""
-    queue = EventQueue()
     event = queue.push(1.0, lambda: None)
     queue.push(2.0, lambda: None)
     event.cancel()
@@ -25,8 +36,7 @@ def test_direct_event_cancel_updates_queue_len():
     assert not queue.pop().cancelled
 
 
-def test_cancel_is_idempotent():
-    queue = EventQueue()
+def test_cancel_is_idempotent(queue):
     event = queue.push(1.0, lambda: None)
     queue.push(2.0, lambda: None)
     event.cancel()
@@ -35,8 +45,7 @@ def test_cancel_is_idempotent():
     assert len(queue) == 1
 
 
-def test_cancel_after_fire_is_a_no_op():
-    sim = Simulator()
+def test_cancel_after_fire_is_a_no_op(sim):
     fired = sim.schedule(1.0, lambda: None)
     sim.schedule(2.0, lambda: None)
     sim.run(until=1.5)
@@ -45,8 +54,7 @@ def test_cancel_after_fire_is_a_no_op():
     assert len(sim._queue) == 1
 
 
-def test_cancel_after_clear_is_a_no_op():
-    queue = EventQueue()
+def test_cancel_after_clear_is_a_no_op(queue):
     event = queue.push(1.0, lambda: None)
     queue.clear()
     assert len(queue) == 0
@@ -54,10 +62,9 @@ def test_cancel_after_clear_is_a_no_op():
     assert len(queue) == 0
 
 
-def test_peak_queue_depth_ignores_cancelled_retransmits():
+def test_peak_queue_depth_ignores_cancelled_retransmits(sim):
     """Scheduling N retransmit timers and cancelling them (ACKs arrived)
     must not report a peak of N ghosts."""
-    sim = Simulator()
     retransmits = [sim.schedule(10.0 + i, lambda: None) for i in range(50)]
     sim.schedule(1.0, lambda: None)
     for event in retransmits:
@@ -67,9 +74,7 @@ def test_peak_queue_depth_ignores_cancelled_retransmits():
     assert sim.peak_queue_depth == 1
 
 
-def test_peak_queue_depth_tracks_live_events():
-    sim = Simulator()
-
+def test_peak_queue_depth_tracks_live_events(sim):
     def fanout():
         for i in range(10):
             sim.schedule(1.0 + i, lambda: None)

@@ -1,19 +1,35 @@
-"""Unit tests for the event queue."""
+"""Unit tests for the scheduler contract, run against every scheduler.
+
+Every test here is parametrized over the full scheduler registry (heap
+and calendar), so a new scheduler gets the whole contract suite for
+free by registering itself in ``repro.sim.scheduler.SCHEDULERS``.
+"""
 
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.event import DEFAULT_PRIORITY, EventQueue
+from repro.sim.event import DEFAULT_PRIORITY, EventQueue, HeapScheduler
+from repro.sim.scheduler import SCHEDULERS, CalendarScheduler
 
 
-def test_empty_queue_is_falsy():
-    queue = EventQueue()
+@pytest.fixture(params=sorted(SCHEDULERS))
+def queue(request):
+    return SCHEDULERS[request.param]()
+
+
+def test_registry_names_match_instances():
+    assert HeapScheduler is EventQueue
+    assert SCHEDULERS["heap"]().name == "heap"
+    assert SCHEDULERS["calendar"]().name == "calendar"
+    assert isinstance(SCHEDULERS["calendar"](), CalendarScheduler)
+
+
+def test_empty_queue_is_falsy(queue):
     assert len(queue) == 0
     assert not queue
 
 
-def test_pop_returns_earliest_event():
-    queue = EventQueue()
+def test_pop_returns_earliest_event(queue):
     order = []
     queue.push(2.0, order.append, ("b",))
     queue.push(1.0, order.append, ("a",))
@@ -23,8 +39,7 @@ def test_pop_returns_earliest_event():
     assert order == ["a", "b", "c"]
 
 
-def test_same_time_events_fire_in_fifo_order():
-    queue = EventQueue()
+def test_same_time_events_fire_in_fifo_order(queue):
     order = []
     for tag in ("first", "second", "third"):
         queue.push(1.0, order.append, (tag,))
@@ -33,8 +48,7 @@ def test_same_time_events_fire_in_fifo_order():
     assert order == ["first", "second", "third"]
 
 
-def test_priority_breaks_time_ties():
-    queue = EventQueue()
+def test_priority_breaks_time_ties(queue):
     order = []
     queue.push(1.0, order.append, ("low",), priority=5)
     queue.push(1.0, order.append, ("high",), priority=-5)
@@ -43,14 +57,12 @@ def test_priority_breaks_time_ties():
     assert not order  # fire() was never called
 
 
-def test_pop_empty_raises():
-    queue = EventQueue()
+def test_pop_empty_raises(queue):
     with pytest.raises(SimulationError):
         queue.pop()
 
 
-def test_cancel_removes_event_from_active_count():
-    queue = EventQueue()
+def test_cancel_removes_event_from_active_count(queue):
     event = queue.push(1.0, lambda: None)
     assert len(queue) == 1
     queue.cancel(event)
@@ -59,24 +71,21 @@ def test_cancel_removes_event_from_active_count():
         queue.pop()
 
 
-def test_cancel_is_idempotent():
-    queue = EventQueue()
+def test_cancel_is_idempotent(queue):
     event = queue.push(1.0, lambda: None)
     queue.cancel(event)
     queue.cancel(event)
     assert len(queue) == 0
 
 
-def test_cancelled_event_skipped_by_pop():
-    queue = EventQueue()
+def test_cancelled_event_skipped_by_pop(queue):
     first = queue.push(1.0, lambda: None)
     queue.push(2.0, lambda: None)
     queue.cancel(first)
     assert queue.pop().time == 2.0
 
 
-def test_peek_time_skips_cancelled():
-    queue = EventQueue()
+def test_peek_time_skips_cancelled(queue):
     first = queue.push(1.0, lambda: None)
     queue.push(5.0, lambda: None)
     assert queue.peek_time() == 1.0
@@ -84,12 +93,11 @@ def test_peek_time_skips_cancelled():
     assert queue.peek_time() == 5.0
 
 
-def test_peek_time_empty_returns_none():
-    assert EventQueue().peek_time() is None
+def test_peek_time_empty_returns_none(queue):
+    assert queue.peek_time() is None
 
 
-def test_clear_discards_everything():
-    queue = EventQueue()
+def test_clear_discards_everything(queue):
     queue.push(1.0, lambda: None)
     queue.push(2.0, lambda: None)
     queue.clear()
@@ -97,8 +105,31 @@ def test_clear_discards_everything():
     assert queue.peek_time() is None
 
 
-def test_event_fire_invokes_callback_with_args():
-    queue = EventQueue()
+def test_clear_then_refill_then_stale_cancel_keeps_len_exact(queue):
+    """Regression: ``clear()`` must sever queue back-references so a
+    cancel on a handle from *before* the clear cannot decrement the
+    accounting of events scheduled *after* it."""
+    stale = [queue.push(float(i), lambda: None) for i in range(4)]
+    queue.clear()
+    fresh = [queue.push(10.0 + i, lambda: None) for i in range(3)]
+    for event in stale:
+        event.cancel()  # e.g. a timer handle kept across a sim reset
+    assert len(queue) == 3
+    popped = [queue.pop() for _ in range(3)]
+    assert [e.time for e in popped] == [10.0, 11.0, 12.0]
+    assert all(e is f for e, f in zip(popped, fresh))
+    assert len(queue) == 0
+
+
+def test_pop_severs_back_reference(queue):
+    event = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert queue.pop() is event
+    event.cancel()  # post-pop cancel must not touch the queue
+    assert len(queue) == 1
+
+
+def test_event_fire_invokes_callback_with_args(queue):
     seen = []
     event = queue.push(0.0, lambda a, b: seen.append((a, b)), (1, 2))
     event.fire()
@@ -107,3 +138,17 @@ def test_event_fire_invokes_callback_with_args():
 
 def test_default_priority_constant():
     assert DEFAULT_PRIORITY == 0
+
+
+def test_interleaved_push_pop_stays_sorted(queue):
+    times = [7.0, 1.0, 3.0, 3.0, 0.5, 9.0, 2.5]
+    for t in times[:4]:
+        queue.push(t, lambda: None)
+    head = [queue.pop().time, queue.pop().time]
+    assert head == [1.0, 3.0]
+    for t in times[4:]:  # 0.5 and 2.5 rewind below the last popped time
+        queue.push(t, lambda: None)
+    tail = []
+    while queue:
+        tail.append(queue.pop().time)
+    assert tail == sorted(tail) == [0.5, 2.5, 3.0, 7.0, 9.0]

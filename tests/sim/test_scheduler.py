@@ -1,0 +1,174 @@
+"""Scheduler selection plumbing and CalendarScheduler internals."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.event import EventQueue, HeapScheduler
+from repro.sim.scheduler import (
+    SCHEDULER_ENV,
+    SCHEDULER_NAMES,
+    CalendarScheduler,
+    configured_scheduler,
+    resolve_scheduler,
+)
+from repro.sim.simulator import Simulator
+
+
+# ----------------------------------------------------------------------
+# Selection: registry, env knob, Simulator wiring
+# ----------------------------------------------------------------------
+def test_registry_exposes_both_kernels():
+    assert set(SCHEDULER_NAMES) == {"heap", "calendar"}
+
+
+def test_resolve_defaults_to_heap(monkeypatch):
+    monkeypatch.delenv(SCHEDULER_ENV, raising=False)
+    assert isinstance(resolve_scheduler(), EventQueue)
+    assert configured_scheduler() == "heap"
+
+
+def test_resolve_honours_env(monkeypatch):
+    monkeypatch.setenv(SCHEDULER_ENV, "calendar")
+    assert isinstance(resolve_scheduler(), CalendarScheduler)
+    assert configured_scheduler() == "calendar"
+
+
+def test_resolve_by_name_is_case_and_space_tolerant():
+    assert isinstance(resolve_scheduler(" Calendar "), CalendarScheduler)
+    assert isinstance(resolve_scheduler("heap"), EventQueue)
+
+
+def test_resolve_passes_instances_through():
+    instance = CalendarScheduler()
+    assert resolve_scheduler(instance) is instance
+
+
+def test_resolve_rejects_unknown_name():
+    with pytest.raises(ConfigurationError, match="unknown scheduler"):
+        resolve_scheduler("fibonacci")
+
+
+def test_resolve_rejects_wrong_type():
+    with pytest.raises(ConfigurationError, match="Scheduler instance"):
+        resolve_scheduler(42)
+
+
+def test_env_with_unknown_name_raises(monkeypatch):
+    monkeypatch.setenv(SCHEDULER_ENV, "splay")
+    with pytest.raises(ConfigurationError, match=SCHEDULER_ENV):
+        configured_scheduler()
+
+
+def test_simulator_takes_name_instance_or_env(monkeypatch):
+    monkeypatch.delenv(SCHEDULER_ENV, raising=False)
+    assert Simulator().scheduler_name == "heap"
+    assert Simulator(scheduler="calendar").scheduler_name == "calendar"
+    assert Simulator(scheduler=CalendarScheduler()).scheduler_name == "calendar"
+    monkeypatch.setenv(SCHEDULER_ENV, "calendar")
+    assert Simulator().scheduler_name == "calendar"
+    # Explicit argument beats the env knob.
+    assert Simulator(scheduler="heap").scheduler_name == "heap"
+
+
+def test_heap_scheduler_alias():
+    assert HeapScheduler is EventQueue
+    assert EventQueue().name == "heap"
+
+
+def test_simulation_outputs_identical_across_schedulers():
+    def drive(scheduler):
+        sim = Simulator(scheduler=scheduler)
+        trace = []
+
+        def tick(tag):
+            trace.append((round(sim.now, 9), tag))
+            if len(trace) < 40:
+                sim.schedule(0.25 * (len(trace) % 5), tick, tag)
+
+        for tag in ("a", "b", "c"):
+            sim.schedule(0.0, tick, tag)
+        timer = sim.schedule(1.0, tick, "cancelled")
+        timer.cancel()
+        sim.run(until=30.0)
+        return trace, sim.now, sim.events_processed, sim.peak_queue_depth
+
+    assert drive("heap") == drive("calendar")
+
+
+# ----------------------------------------------------------------------
+# CalendarScheduler internals
+# ----------------------------------------------------------------------
+def test_constructor_rejects_bad_width():
+    with pytest.raises(ConfigurationError, match="bucket_width"):
+        CalendarScheduler(bucket_width=0.0)
+    with pytest.raises(ConfigurationError, match="bucket_width"):
+        CalendarScheduler(bucket_width=-1.0)
+
+
+def test_constructor_rejects_bad_nbuckets():
+    with pytest.raises(ConfigurationError, match="nbuckets"):
+        CalendarScheduler(nbuckets=0)
+
+
+def test_ring_doubles_and_halves_around_population():
+    queue = CalendarScheduler()
+    floor = CalendarScheduler.MIN_BUCKETS
+    events = [queue.push(float(i), lambda: None) for i in range(100)]
+    assert queue._nbuckets > floor
+    for _ in events:
+        queue.pop()
+    assert queue._nbuckets == floor
+    assert len(queue) == 0
+
+
+def test_resize_purges_cancelled_ghosts():
+    queue = CalendarScheduler()
+    events = [queue.push(float(i), lambda: None) for i in range(40)]
+    for event in events[1:]:
+        event.cancel()
+    assert len(queue) == 1
+    assert queue._stored == 40  # ghosts linger until a resize or scan
+    queue._resize(queue.MIN_BUCKETS)
+    assert queue._stored == 1  # wholesale ghost purge
+    assert queue.pop() is events[0]
+    assert len(queue) == 0
+
+
+def test_sparse_events_use_direct_search_fallback():
+    # A fixed narrow width with events far apart guarantees a full ring
+    # pass finds nothing, exercising the direct-search fallback.
+    queue = CalendarScheduler(bucket_width=0.001, nbuckets=4)
+    times = [1000.0, 5.0, 2_000_000.0, 300.0]
+    for t in times:
+        queue.push(t, lambda: None)
+    assert queue.peek_time() == 5.0
+    assert [queue.pop().time for _ in range(4)] == sorted(times)
+
+
+def test_width_retunes_to_live_population():
+    queue = CalendarScheduler()
+    assert queue._auto_width
+    for i in range(100):
+        queue.push(1000.0 * i, lambda: None)
+    # Mean gap 1000s: the retuned width must be far above the 1.0 seed.
+    assert queue._width > 100.0
+    drained = [queue.pop().time for _ in range(100)]
+    assert drained == sorted(drained)
+
+
+def test_peek_pop_cache_survives_interleaved_cancel():
+    queue = CalendarScheduler()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert queue.peek_time() == 1.0
+    first.cancel()  # invalidates the cached head between peek and pop
+    assert queue.pop().time == 2.0
+    assert len(queue) == 0
+
+
+def test_zero_time_and_negative_priority_events():
+    queue = CalendarScheduler()
+    queue.push(0.0, lambda: None, priority=3)
+    queue.push(0.0, lambda: None, priority=-3)
+    assert queue.pop().priority == -3
+    assert queue.pop().priority == 3
