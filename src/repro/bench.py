@@ -243,6 +243,7 @@ def bench_spatial_index(quick: bool) -> Dict[str, object]:
 # End-to-end figure benchmarks
 # ----------------------------------------------------------------------
 def _profiled_figure(run: Callable[[], object]) -> Dict[str, object]:
+    from repro.obs.fingerprint import configured_fingerprint
     from repro.obs.profile import RunProfiler
     from repro.obs.recorder import configured_recording
 
@@ -262,6 +263,13 @@ def _profiled_figure(run: Callable[[], object]) -> Dict[str, object]:
         # The digest is NOT exempted: result rows must stay bit-identical
         # with the recorder on (the zero-perturbation contract).
         meta["recorded"] = True
+    if configured_fingerprint() is not None:
+        # Fingerprinting observes the existing event stream without adding
+        # events, so the counters stay comparable — but its wall overhead
+        # means timings belong to a different budget than an unmarked
+        # baseline.  The digest is never exempted: fingerprinted results
+        # must stay bit-identical (the zero-perturbation contract).
+        meta["fingerprinted"] = True
     return _result(
         wall,
         events=int(summary["events"]),
@@ -398,9 +406,41 @@ def bench_scaling(quick: bool) -> Dict[str, object]:
         # tests.  Identical kernels contribute identical sublists.
         deterministic.append([nodes] + point_outputs)
         if any(output != point_outputs[0] for output in point_outputs[1:]):
+            # Name exactly which deterministic outputs drifted instead of
+            # dumping every field of every scheduler, and hand the reader
+            # the command that bisects the runs to the first divergent
+            # event.
+            labels = (
+                "events",
+                "peak_queue_depth",
+                "recall",
+                "rounds",
+                "overhead_bytes",
+            )
             print(
-                f"    WARNING: schedulers disagree at {nodes} nodes: "
-                f"{dict(zip(_SCALING_SCHEDULERS, point_outputs))}",
+                f"    WARNING: schedulers disagree at {nodes} nodes:",
+                file=sys.stderr,
+                flush=True,
+            )
+            reference = point_outputs[0]
+            for scheduler, outputs in zip(
+                _SCALING_SCHEDULERS[1:], point_outputs[1:]
+            ):
+                for label, ref_value, value in zip(labels, reference, outputs):
+                    if value != ref_value:
+                        print(
+                            f"      {label}: {_SCALING_SCHEDULERS[0]}="
+                            f"{ref_value} {scheduler}={value}",
+                            file=sys.stderr,
+                            flush=True,
+                        )
+            print(
+                "      bisect to the first divergent event with:\n"
+                f"        python -m repro diverge "
+                f"--a scheduler={_SCALING_SCHEDULERS[0]} "
+                f"--b scheduler={_SCALING_SCHEDULERS[1]} "
+                f"--rows {rows} --cols {cols} "
+                f"--metadata-count {2 * nodes} --max-rounds 2",
                 file=sys.stderr,
                 flush=True,
             )
@@ -474,7 +514,13 @@ def _check_one(
     if base_digest != cur_digest:
         failures.append(
             f"{name}: output digest changed: "
-            f"baseline {base_digest} != current {cur_digest}"
+            f"baseline {base_digest} != current {cur_digest}\n"
+            "  the simulation now produces different deterministic output; "
+            "bisect to the first divergent event with e.g.\n"
+            "    python -m repro diverge --a scheduler=heap "
+            "--b scheduler=calendar\n"
+            "  (swap a side for jobs=2 / profile=on / perturb=stream:index "
+            "or file=<fingerprint.jsonl> to compare against a recorded run)"
         )
     # Normalize for machine speed: scale the baseline by the ratio of
     # calibration-loop timings taken on each machine.
@@ -589,6 +635,14 @@ def build_parser() -> argparse.ArgumentParser:
         "under either.",
     )
     parser.add_argument(
+        "--fingerprint",
+        metavar="FILE",
+        default=None,
+        help="fingerprint every simulated event into FILE while "
+        "benchmarking (sets REPRO_FINGERPRINT; results must stay "
+        "bit-identical, wall time pays the fingerprint overhead)",
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help="write current results into the baseline file",
@@ -638,6 +692,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.scheduler is not None:
         os.environ["REPRO_SCHEDULER"] = args.scheduler
+    if args.fingerprint is not None:
+        os.environ["REPRO_FINGERPRINT"] = args.fingerprint
 
     tolerance = _resolve_tolerance(args.tolerance)
     out_dir = Path(args.out_dir)

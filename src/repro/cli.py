@@ -19,6 +19,17 @@ Observability::
     python -m repro profile fig5 --flame out.txt   # kernel hotspots +
                                                    # flamegraph export
 
+Determinism observatory::
+
+    python -m repro --version                  # version stamped in every
+                                               # JSONL provenance header
+    python -m repro fig4 --fingerprint fp.jsonl   # chained event digests
+                                                  # + checkpoint stream
+    python -m repro diverge --a scheduler=heap --b scheduler=calendar
+                                               # bisect two configs to the
+                                               # first divergent event
+    python -m repro diverge --a file=fp.jsonl --b ''   # vs recorded stream
+
 Flight recorder::
 
     python -m repro fig4 --timeline tl.jsonl   # record protocol state
@@ -39,6 +50,8 @@ from repro.experiments.figures import REGISTRY
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.obs.durable import repro_version
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -46,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Data Sharing in Pervasive Edge Computing Environments' "
             "(ICDCS 2017)."
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {repro_version()}",
     )
     parser.add_argument(
         "figure",
@@ -107,6 +125,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(bare --timeline records in memory, attaching summary columns "
         "only; with --jobs N>1, per-worker shards FILE.0, ...); "
         "inspect: render per-node sparkline views of a timeline file",
+    )
+    parser.add_argument(
+        "--fingerprint",
+        metavar="FILE",
+        default=None,
+        help="figure runs: stream a determinism fingerprint (chained "
+        "event digests + checkpoints) to FILE (with --jobs N>1, "
+        "per-worker shards FILE.0, ...); compare streams with "
+        "`repro diverge`",
+    )
+    parser.add_argument(
+        "--fingerprint-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="events per fingerprint checkpoint (default: 512)",
     )
     parser.add_argument(
         "--timeline-interval",
@@ -177,6 +211,7 @@ def _run_figures(args: argparse.Namespace) -> int:
     from contextlib import ExitStack
 
     from repro.experiments.runner import configured_jobs
+    from repro.obs.fingerprint import DEFAULT_CHECKPOINT_EVERY, fingerprinting
     from repro.obs.metrics import MetricsRegistry, collect_registries
     from repro.obs.profile import RunProfiler
     from repro.obs.recorder import (
@@ -224,6 +259,14 @@ def _run_figures(args: argparse.Namespace) -> int:
                     keyframe_every=keyframe,
                 )
             )
+        if args.fingerprint:
+            stack.enter_context(
+                fingerprinting(
+                    path=args.fingerprint,
+                    checkpoint_every=args.fingerprint_every
+                    or DEFAULT_CHECKPOINT_EVERY,
+                )
+            )
         if profiler is not None:
             stack.enter_context(profiler.activate())
             registries = stack.enter_context(collect_registries())
@@ -242,6 +285,15 @@ def _run_figures(args: argparse.Namespace) -> int:
             )
         else:
             print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.fingerprint:
+        if configured_jobs() > 1:
+            print(
+                f"fingerprint written to per-worker shards next to "
+                f"{args.fingerprint}",
+                file=sys.stderr,
+            )
+        else:
+            print(f"fingerprint written to {args.fingerprint}", file=sys.stderr)
     if isinstance(args.timeline, str):
         if configured_jobs() > 1:
             print(
@@ -274,6 +326,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.profilecli import main as profile_main
 
         return profile_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "diverge":
+        from repro.divergecli import main as diverge_main
+
+        return diverge_main(raw_argv[1:])
 
     args = build_parser().parse_args(raw_argv)
     if args.seeds is not None:

@@ -37,8 +37,25 @@ _message_ids = itertools.count(1)
 
 
 def next_message_id() -> int:
-    """Globally unique message id (queries and responses share the space)."""
+    """Message id, unique within one run (queries and responses share the
+    space)."""
     return next(_message_ids)
+
+
+def reset_message_ids(start: int = 1) -> None:
+    """Rewind the id space to ``start`` (scenario construction).
+
+    Message ids only need to be unique *within* one simulation run — the
+    span loader already scopes them per ``(shard, run)`` because forked
+    workers inherit the counter mid-sequence.  Resetting per scenario
+    makes the ids a deterministic function of the run itself, so two
+    executions of the same scenario emit identical ids regardless of what
+    else ran in the process first — which is what lets the determinism
+    fingerprint compare runs across processes, schedulers, and worker
+    counts.
+    """
+    global _message_ids
+    _message_ids = itertools.count(start)
 
 
 def _receivers_size(receivers: Optional[FrozenSet[NodeId]]) -> int:

@@ -63,6 +63,7 @@ from typing import (
 
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments.metrics import AggregateMetrics, TrialFailure, TrialMetrics
+from repro.obs import fingerprint as obs_fingerprint
 from repro.obs import kernelprof as obs_kernelprof
 from repro.obs import memprof as obs_memprof
 from repro.obs import recorder as obs_recorder
@@ -198,6 +199,7 @@ def _worker_init(
     shard_counter: Any,
     timeline_shards: bool = False,
     profile_trials: bool = False,
+    fingerprint_shards: bool = False,
 ) -> None:
     """Per-worker-process setup.
 
@@ -224,7 +226,7 @@ def _worker_init(
     obs_memprof._clear_active()
     _clear_collectors()
     obs_recorder._clear_recorder_collectors()
-    if shard_bases or timeline_shards:
+    if shard_bases or timeline_shards or fingerprint_shards:
         with shard_counter.get_lock():
             index = shard_counter.value
             shard_counter.value += 1
@@ -239,6 +241,11 @@ def _worker_init(
             multiprocessing.util.Finalize(sink, sink.close, exitpriority=10)
         if timeline_shards:
             obs_recorder.reshard_for_worker(index)
+        if fingerprint_shards:
+            # The inherited config's writer (if the parent already opened
+            # one) is dropped, not closed — its buffer belongs to the
+            # parent (pid-guarded, like trace sinks under fork).
+            obs_fingerprint.reshard_for_worker(index)
 
 
 def _audited_call(trial: Callable[..., Any], args: Tuple[Any, ...]) -> Any:
@@ -444,6 +451,32 @@ def _plan_timeline_shards(context: Any) -> bool:
     return config.path is not None
 
 
+def _plan_fingerprint_shards(context: Any) -> bool:
+    """Whether workers must shard a configured fingerprint stream.
+
+    File-backed fingerprint streams shard per worker exactly like trace
+    and timeline files (fork only); a memory-only fingerprint config
+    cannot follow trials into worker processes at all — its
+    :class:`~repro.obs.fingerprint.EventFingerprinter` records would die
+    with the worker — so it demands ``jobs=1``.
+    """
+    config = obs_fingerprint.configured_fingerprint()
+    if config is None:
+        return False
+    if config.path is None:
+        raise ConfigurationError(
+            "an in-memory fingerprint (path=None) cannot follow trials "
+            "into worker processes; give it a path or run with jobs=1 "
+            "(--jobs 1)"
+        )
+    if context.get_start_method() != "fork":
+        raise ConfigurationError(
+            "per-worker fingerprint shards need the 'fork' start method; "
+            "run with jobs=1 (--jobs 1) to fingerprint on this platform"
+        )
+    return True
+
+
 def _failure_kind(error: BaseException) -> str:
     if isinstance(error, TrialTimeout):
         return "timeout"
@@ -469,8 +502,11 @@ def _execute_parallel(
     context = _pool_context()
     shard_bases = _plan_trace_shards(context)
     timeline_shards = _plan_timeline_shards(context)
+    fingerprint_shards = _plan_fingerprint_shards(context)
     shard_counter = (
-        context.Value("i", 0) if (shard_bases or timeline_shards) else None
+        context.Value("i", 0)
+        if (shard_bases or timeline_shards or fingerprint_shards)
+        else None
     )
     profiler = active_profiler()
     kernel = obs_kernelprof.active_kernel_profiler()
@@ -494,7 +530,13 @@ def _execute_parallel(
                 max_workers=min(jobs, len(group)),
                 mp_context=context,
                 initializer=_worker_init,
-                initargs=(shard_bases, shard_counter, timeline_shards, profile_trials),
+                initargs=(
+                    shard_bases,
+                    shard_counter,
+                    timeline_shards,
+                    profile_trials,
+                    fingerprint_shards,
+                ),
             ) as pool:
                 futures = {
                     pool.submit(

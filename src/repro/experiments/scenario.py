@@ -17,9 +17,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.messages import reset_message_ids
 from repro.mobility.campus import CampusScenario, CampusTrace, generate_campus_trace
 from repro.mobility.trace import TracePlayer
 from repro.net.medium import BroadcastMedium
+from repro.net.message import reset_frame_ids
 from repro.net.radio import RadioConfig
 from repro.net.stats import NetworkStats
 from repro.net.topology import (
@@ -91,8 +93,13 @@ def _attach_recorder(scenario: Scenario) -> Scenario:
     No-op (and no simulator events scheduled) otherwise — the zero-cost
     contract for unrecorded runs lives here.  Both builders funnel their
     finished world through here, which also makes it the ``setup`` phase
-    boundary for memory telemetry.
+    boundary for memory telemetry — and the point where the per-run id
+    spaces (message ids, frame ids) rewind, so every run mints the same
+    deterministic id sequence regardless of what else ran in the process
+    first (the determinism fingerprint depends on this).
     """
+    reset_message_ids()
+    reset_frame_ids()
     config = configured_recording()
     if config is not None:
         recorder = FlightRecorder(

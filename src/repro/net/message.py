@@ -24,6 +24,18 @@ ACK_PAYLOAD_BYTES = 12
 _frame_ids = itertools.count(1)
 
 
+def reset_frame_ids(start: int = 1) -> None:
+    """Rewind the frame-id space to ``start`` (scenario construction).
+
+    Frame ids need only be unique within one run (acks and retransmit
+    bookkeeping never cross simulations); resetting per scenario makes
+    them deterministic per run, so fingerprinted runs compare equal
+    across processes and schedulers.
+    """
+    global _frame_ids
+    _frame_ids = itertools.count(start)
+
+
 @dataclass(frozen=True)
 class Correlation:
     """Causal correlation ids carried from a payload down to the link layer.

@@ -27,6 +27,48 @@ import os
 from typing import Any, Dict
 
 
+def repro_version() -> str:
+    """The installed package version (metadata first, source as fallback)."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        try:
+            return version("repro")
+        except PackageNotFoundError:
+            pass
+    except ImportError:  # pragma: no cover - py<3.8 only
+        pass
+    from repro import __version__
+
+    return __version__
+
+
+def provenance_doc() -> Dict[str, Any]:
+    """The provenance header every JSONL artifact leads with.
+
+    Records what produced the file — package version, the event-kernel
+    scheduler in effect, and the fingerprint configuration (if any) — so a
+    shard dug out of a CI artifact months later still says which build and
+    which kernel wrote it.  The single ``"provenance"`` marker key is what
+    every loader (traces, timelines, fingerprints) skips on.
+    """
+    from repro.obs.fingerprint import configured_fingerprint
+    from repro.sim.scheduler import configured_scheduler
+
+    fp = configured_fingerprint()
+    doc: Dict[str, Any] = {
+        "provenance": 1,
+        "repro_version": repro_version(),
+        "scheduler": configured_scheduler(),
+    }
+    if fp is not None:
+        doc["fingerprint"] = {
+            "checkpoint_every": fp.checkpoint_every,
+            "detail": list(fp.detail) if fp.detail is not None else None,
+        }
+    return doc
+
+
 class DurableJsonlWriter:
     """Streams JSON documents to a file, one object per line.
 
@@ -36,6 +78,8 @@ class DurableJsonlWriter:
             the writer closes at worker-process exit.  Callers that
             shard per worker *after* fork (trace sinks) register their
             own finalizer on the shard instead.
+        header: Write the provenance header as the file's first line
+            (``written`` counts only documents, not the header).
 
     Attributes:
         path: The file being written.
@@ -44,11 +88,17 @@ class DurableJsonlWriter:
     Usable as a context manager; close is idempotent.
     """
 
-    def __init__(self, path: str, finalize: bool = False) -> None:
+    def __init__(
+        self, path: str, finalize: bool = False, header: bool = True
+    ) -> None:
         self.path = str(path)
         self._file = open(self.path, "w", encoding="utf-8")
         self._pid = os.getpid()
         self.written = 0
+        if header:
+            self._file.write(
+                json.dumps(provenance_doc(), separators=(",", ":")) + "\n"
+            )
         atexit.register(self.close)
         if finalize:
             multiprocessing.util.Finalize(self, self.close, exitpriority=10)

@@ -147,6 +147,10 @@ def load_trace(path: str) -> TraceLoad:
                 if not isinstance(event, dict):
                     skipped += 1
                     continue
+                if "provenance" in event:
+                    # The file-header provenance record (version, scheduler,
+                    # fingerprint config) — expected, not a skipped line.
+                    continue
                 seen_lines.add(line)
                 event["shard"] = shard
                 events.append(event)

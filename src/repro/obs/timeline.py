@@ -103,6 +103,10 @@ def load_timeline(path: str) -> TimelineLoad:
                 except ValueError:
                     skipped += 1
                     continue
+                if isinstance(record, dict) and "provenance" in record:
+                    # File-header provenance record — expected, not a
+                    # skipped line.
+                    continue
                 if not isinstance(record, dict) or "rec" not in record:
                     skipped += 1
                     continue

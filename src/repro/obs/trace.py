@@ -166,13 +166,22 @@ class JsonlSink(DurableJsonlWriter, TraceSink):
 
 
 def read_jsonl(path: str) -> List[Dict[str, object]]:
-    """Load a trace file back into a list of flat event dicts."""
+    """Load a trace file back into a list of flat event dicts.
+
+    The file-header provenance record every
+    :class:`~repro.obs.durable.DurableJsonlWriter` leads with is not an
+    event and is skipped.
+    """
     events: List[Dict[str, object]] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
+            if not line:
+                continue
+            doc = json.loads(line)
+            if isinstance(doc, dict) and "provenance" in doc:
+                continue
+            events.append(doc)
     return events
 
 

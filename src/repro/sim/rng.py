@@ -1,20 +1,275 @@
-"""Seeded random-number streams.
+"""Seeded random-number streams, with an opt-in draw-site ledger.
 
 Every stochastic component (medium loss, backoff jitter, workload placement,
 mobility) draws from its own named stream derived from a single experiment
 seed.  This keeps runs reproducible and lets components be re-ordered without
 perturbing each other's draws.
+
+Draw ledger
+-----------
+
+RNG-consumption skew — one side of a comparison drawing one extra (or one
+fewer) random number — is the most common cause of two "identical" runs
+diverging, and the hardest to see: every draw after the skew produces
+different values, so downstream symptoms point everywhere except the cause.
+With a :class:`RngLedger` installed (:func:`rng_ledger`), every stream the
+registry creates is wrapped so each *primitive* draw (``random()`` /
+``getrandbits()`` — the two entry points all derived draws such as
+``uniform``/``randrange``/``choice``/``shuffle`` funnel through) is:
+
+* counted per **draw site** — a lightweight ``stream@file:function:line``
+  key resolved from the first stack frame outside the :mod:`random` module
+  (resolved once per site and cached on the code object / line pair);
+* folded into a per-stream **chained digest** of the drawn values, so two
+  ledgers agree exactly when both sides drew the same values in the same
+  order from each stream.
+
+The ledger only *observes*: wrapped streams are seeded identically and
+their Mersenne-Twister state advances exactly as an unwrapped
+``random.Random`` would, so ledger-on runs are bit-identical to ledger-off
+runs.  With no ledger installed, :meth:`RngRegistry.stream` hands out plain
+``random.Random`` objects — zero per-draw cost, exactly the code that
+shipped before the ledger existed.
+
+Fault injection
+---------------
+
+``REPRO_RNG_PERTURB="<stream>:<index>"`` perturbs exactly one draw: the
+``index``-th primitive draw of stream ``<stream>`` returns ``1 - v`` (for
+``random()``) or a bit-flipped value (for ``getrandbits``).  This exists to
+*test the determinism observatory itself* — ``repro diverge`` must localize
+the injected skew to an exact event — and is checked once per stream
+creation, so the knob costs nothing when unset.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import sys
 import zlib
+from contextlib import contextmanager
+from hashlib import blake2b
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: ``co_filename`` of the pure-Python :mod:`random` helpers (``uniform``,
+#: ``randrange``, ...).  Frames from this file are internal plumbing, not
+#: draw sites.
+_RANDOM_PY = random.Random.uniform.__code__.co_filename
+
+#: This module's own file — ledger wrapper frames, also not draw sites.
+_SELF_PY = __file__
 
 
 def derive_seed(master_seed: int, name: str) -> int:
     """Derive a stable per-component seed from a master seed and a name."""
     return (master_seed * 0x9E3779B1 + zlib.crc32(name.encode("utf-8"))) & 0xFFFFFFFF
+
+
+class RngLedger:
+    """Per-call-site draw counts plus per-stream chained value digests.
+
+    Attributes:
+        sites: ``"stream@file:function:line" -> primitive draw count``.
+        draws: Total primitive draws observed across all streams.
+    """
+
+    def __init__(self) -> None:
+        self.sites: Dict[str, int] = {}
+        self.draws: int = 0
+        #: stream name -> incremental digest of every value drawn from it.
+        self._stream_hashes: Dict[str, "blake2b"] = {}
+        #: (code object, lineno) -> resolved site label (per-site, cached).
+        self._site_cache: Dict[Tuple[object, int], str] = {}
+
+    # ------------------------------------------------------------------
+    # Observation (called by _LedgerRandom on every primitive draw)
+    # ------------------------------------------------------------------
+    def _note(self, stream: str, value: object) -> None:
+        # Walk out of random.py / this module to the real call site.
+        frame = sys._getframe(2)
+        while frame is not None and frame.f_code.co_filename in (
+            _RANDOM_PY,
+            _SELF_PY,
+        ):
+            frame = frame.f_back
+        if frame is None:  # pragma: no cover - only direct random.py entry
+            site = f"{stream}@(unknown)"
+        else:
+            cache_key = (frame.f_code, frame.f_lineno)
+            site = self._site_cache.get(cache_key)
+            if site is None:
+                code = frame.f_code
+                site = (
+                    f"{stream}@{os.path.basename(code.co_filename)}:"
+                    f"{code.co_name}:{frame.f_lineno}"
+                )
+                self._site_cache[cache_key] = site
+        self.sites[site] = self.sites.get(site, 0) + 1
+        self.draws += 1
+        digest = self._stream_hashes.get(stream)
+        if digest is None:
+            digest = self._stream_hashes[stream] = blake2b(digest_size=16)
+        digest.update(repr(value).encode("ascii", "backslashreplace"))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stream_digests(self) -> Dict[str, str]:
+        """``stream name -> hex chained digest`` of all values drawn."""
+        return {
+            name: digest.copy().hexdigest()
+            for name, digest in self._stream_hashes.items()
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able form: draw totals, per-site counts, stream digests."""
+        return {
+            "draws": self.draws,
+            "sites": dict(sorted(self.sites.items())),
+            "streams": self.stream_digests(),
+        }
+
+
+def diff_ledgers(
+    a: Dict[str, object], b: Dict[str, object]
+) -> List[Dict[str, object]]:
+    """Every draw site whose count differs between two ledger snapshots.
+
+    Sites are returned in sorted key order (deterministic), each as
+    ``{"site": ..., "a": count, "b": count}``; a site missing from one
+    side reports count 0 there.  The *first* entry is the usual suspect —
+    the earliest-sorted site with consumption skew.
+    """
+    sites_a: Dict[str, int] = dict(a.get("sites", {}))  # type: ignore[arg-type]
+    sites_b: Dict[str, int] = dict(b.get("sites", {}))  # type: ignore[arg-type]
+    skews: List[Dict[str, object]] = []
+    for site in sorted(set(sites_a) | set(sites_b)):
+        count_a = int(sites_a.get(site, 0))
+        count_b = int(sites_b.get(site, 0))
+        if count_a != count_b:
+            skews.append({"site": site, "a": count_a, "b": count_b})
+    return skews
+
+
+class _LedgerRandom(random.Random):
+    """A ``random.Random`` that reports every primitive draw to a ledger.
+
+    Only observes: the underlying Mersenne-Twister state advances exactly
+    as the base class's would for the same seed, so wrapping never changes
+    the values components draw.
+    """
+
+    def __init__(self, seed: int, stream: str, ledger: RngLedger) -> None:
+        self._stream = stream
+        self._ledger = ledger
+        super().__init__(seed)
+
+    def random(self) -> float:
+        value = super().random()
+        self._ledger._note(self._stream, value)
+        return value
+
+    def getrandbits(self, k: int) -> int:
+        value = super().getrandbits(k)
+        self._ledger._note(self._stream, value)
+        return value
+
+
+class _PerturbedRandom(random.Random):
+    """Fault injection: flips exactly one primitive draw of one stream.
+
+    Composes with the ledger (the perturbed *value* is what gets drawn,
+    counted, and digested — exactly what a real divergence looks like).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        perturb_index: int,
+        stream: str = "",
+        ledger: Optional[RngLedger] = None,
+    ) -> None:
+        self._index = 0
+        self._perturb_index = perturb_index
+        self._stream = stream
+        self._ledger = ledger
+        super().__init__(seed)
+
+    def random(self) -> float:
+        value = super().random()
+        if self._index == self._perturb_index:
+            value = 1.0 - value
+        self._index += 1
+        if self._ledger is not None:
+            self._ledger._note(self._stream, value)
+        return value
+
+    def getrandbits(self, k: int) -> int:
+        value = super().getrandbits(k)
+        if self._index == self._perturb_index:
+            value ^= 1
+        self._index += 1
+        if self._ledger is not None:
+            self._ledger._note(self._stream, value)
+        return value
+
+
+# ----------------------------------------------------------------------
+# Process-wide ledger installation (mirrors the trace-sink registry)
+# ----------------------------------------------------------------------
+_LEDGERS: List[RngLedger] = []
+
+
+def install_rng_ledger(ledger: RngLedger) -> RngLedger:
+    """Ledger every stream created from now on."""
+    _LEDGERS.append(ledger)
+    return ledger
+
+
+def remove_rng_ledger(ledger: RngLedger) -> None:
+    """Stop wrapping new streams through ``ledger``."""
+    try:
+        _LEDGERS.remove(ledger)
+    except ValueError:
+        pass
+
+
+def active_rng_ledger() -> Optional[RngLedger]:
+    """The ledger new streams report to, or ``None``."""
+    return _LEDGERS[-1] if _LEDGERS else None
+
+
+@contextmanager
+def rng_ledger() -> Iterator[RngLedger]:
+    """Scope a draw ledger over every stream created inside the block."""
+    ledger = install_rng_ledger(RngLedger())
+    try:
+        yield ledger
+    finally:
+        remove_rng_ledger(ledger)
+
+
+def _parse_perturbation(raw: str) -> Tuple[str, int]:
+    """``"stream:index"`` from ``REPRO_RNG_PERTURB``; fail fast otherwise."""
+    stream, sep, index_raw = raw.rpartition(":")
+    if not sep or not stream:
+        raise ConfigurationError(
+            f"REPRO_RNG_PERTURB must be '<stream>:<draw-index>', got {raw!r}"
+        )
+    try:
+        index = int(index_raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_RNG_PERTURB must be '<stream>:<draw-index>', got {raw!r}"
+        ) from None
+    if index < 0:
+        raise ConfigurationError(
+            f"REPRO_RNG_PERTURB draw index must be >= 0, got {raw!r}"
+        )
+    return stream, index
 
 
 class RngRegistry:
@@ -25,10 +280,31 @@ class RngRegistry:
         self._streams: dict[str, random.Random] = {}
 
     def stream(self, name: str) -> random.Random:
-        """Return the stream for ``name``, creating it on first use."""
+        """Return the stream for ``name``, creating it on first use.
+
+        The wrapper (if any) is chosen at creation time: a plain
+        ``random.Random`` normally, a ledgered one while a
+        :class:`RngLedger` is installed, a perturbed one when
+        ``REPRO_RNG_PERTURB`` names this stream.  All three produce the
+        identical value sequence for a given seed — except the perturbed
+        stream's single flipped draw, which is the point.
+        """
         stream = self._streams.get(name)
         if stream is None:
-            stream = random.Random(derive_seed(self.master_seed, name))
+            seed = derive_seed(self.master_seed, name)
+            perturb = os.environ.get("REPRO_RNG_PERTURB")
+            ledger = active_rng_ledger()
+            if perturb:
+                target, index = _parse_perturbation(perturb)
+                if target == name:
+                    stream = _PerturbedRandom(
+                        seed, index, stream=name, ledger=ledger
+                    )
+            if stream is None:
+                if ledger is not None:
+                    stream = _LedgerRandom(seed, name, ledger)
+                else:
+                    stream = random.Random(seed)
             self._streams[name] = stream
         return stream
 

@@ -12,6 +12,7 @@ from time import perf_counter, perf_counter_ns
 from typing import Any, Callable, Optional, Union
 
 from repro.errors import SimulationError
+from repro.obs.fingerprint import EventFingerprinter, configured_fingerprint
 from repro.obs.kernelprof import active_kernel_profiler
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import active_profiler
@@ -61,6 +62,7 @@ class Simulator:
         self.events_processed: int = 0
         self.peak_queue_depth: int = 0
         self.recorder: Optional[Any] = None
+        self._fingerprint: Optional[EventFingerprinter] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -124,11 +126,19 @@ class Simulator:
         processed = 0
         profiler = active_profiler()
         kernel = active_kernel_profiler()
+        fp_config = configured_fingerprint()
+        fingerprint: Optional[EventFingerprinter] = None
+        if fp_config is not None:
+            fingerprint = self._fingerprint
+            if fingerprint is None or fingerprint.config is not fp_config:
+                fingerprint = self._fingerprint = EventFingerprinter(
+                    self, fp_config
+                )
         wall_start = perf_counter() if profiler is not None else 0.0
         queue = self._queue
         peak_depth = len(queue)
         try:
-            if kernel is None:
+            if kernel is None and fingerprint is None:
                 while queue and not self._stopped:
                     next_time = queue.peek_time()
                     if next_time is None:
@@ -152,7 +162,7 @@ class Simulator:
                             f"(processed={processed}, now={self.now}); "
                             f"runaway simulation?"
                         )
-            else:
+            elif fingerprint is None:
                 # Kernel-profiled variant of the loop above.  Kept as a
                 # separate branch (not per-event `if kernel` checks) so the
                 # unprofiled path is byte-for-byte the original loop and
@@ -207,8 +217,69 @@ class Simulator:
                             f"(processed={processed}, now={self.now}); "
                             f"runaway simulation?"
                         )
+            else:
+                # Fingerprinting variant.  A third branch for the same
+                # reason kernel profiling gets one: the plain path above
+                # must stay byte-for-byte the original loop so
+                # fingerprint-off runs are bit-identical to seed.  The
+                # event is folded into the chained digest BEFORE fire()
+                # so a handler that raises still leaves the divergent
+                # event on the stream.  Fingerprinting wraps around the
+                # dispatch without touching event order, the clock, or
+                # RNG draws — fingerprinted runs keep exact output
+                # digests.  Kernel accounting is folded in with per-event
+                # None checks (profile+fingerprint together is rare and
+                # already paying the hash cost).
+                acc_map = sched_acc = None
+                if kernel is not None:
+                    acc_map = kernel._acc
+                    sched_key = queue.profile_key
+                    sched_acc = acc_map.get(sched_key)
+                    if sched_acc is None:
+                        sched_acc = acc_map[sched_key] = [0, 0]
+                note = fingerprint.note
+                while queue and not self._stopped:
+                    sched_start = perf_counter_ns() if kernel else 0
+                    next_time = queue.peek_time()
+                    if next_time is None:
+                        break
+                    if until is not None and next_time > until:
+                        break
+                    event = queue.pop()
+                    if sched_acc is not None:
+                        sched_acc[0] += 1
+                        sched_acc[1] += perf_counter_ns() - sched_start
+                    if event.time < self.now:
+                        raise SimulationError(
+                            f"event queue yielded past event (t={event.time} < now={self.now})"
+                        )
+                    self.now = event.time
+                    note(event)
+                    fire_start = perf_counter_ns() if kernel else 0
+                    event.fire()
+                    if acc_map is not None:
+                        elapsed_ns = perf_counter_ns() - fire_start
+                        callback = event.callback
+                        key = getattr(callback, "__func__", callback)
+                        acc = acc_map.get(key)
+                        if acc is None:
+                            acc = acc_map[key] = [0, 0]
+                        acc[0] += 1
+                        acc[1] += elapsed_ns
+                    processed += 1
+                    depth = len(queue)
+                    if depth > peak_depth:
+                        peak_depth = depth
+                    if max_events is not None and processed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} "
+                            f"(processed={processed}, now={self.now}); "
+                            f"runaway simulation?"
+                        )
         finally:
             self._running = False
+            if fingerprint is not None:
+                fingerprint.flush_checkpoint()
             self.events_processed += processed
             if peak_depth > self.peak_queue_depth:
                 self.peak_queue_depth = peak_depth

@@ -1,12 +1,27 @@
-"""Shared pytest fixtures."""
+"""Shared pytest fixtures and Hypothesis settings profiles."""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 
 from repro.sim.simulator import Simulator
+
+try:
+    from hypothesis import settings
+except ImportError:  # property tests skip themselves without hypothesis
+    settings = None
+
+if settings is not None:
+    # CI pins HYPOTHESIS_PROFILE=derandomize so property tests draw their
+    # examples from a fixed seed: a red build reproduces locally from the
+    # failing example alone, and the determinism gates never flake on an
+    # unlucky draw.  The deadline is lifted because shared CI runners
+    # stall unpredictably, which is load, not a bug.
+    settings.register_profile("derandomize", derandomize=True, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -130,16 +130,20 @@ def test_writer_close_flushes_and_is_idempotent(tmp_path):
     writer.write({"rec": "meta", "run": 1})
     writer.close()
     writer.close()  # safe to call twice
-    assert json.loads(path.read_text()) == {"rec": "meta", "run": 1}
+    header, record = path.read_text().splitlines()
+    assert "provenance" in json.loads(header)
+    assert json.loads(record) == {"rec": "meta", "run": 1}
     writer.write({"rec": "key"})  # post-close writes are dropped, not errors
-    assert path.read_text().count("\n") == 1
+    assert path.read_text().count("\n") == 2  # provenance header + record
 
 
 def test_writer_context_manager(tmp_path):
     path = tmp_path / "tl.jsonl"
     with TimelineWriter(str(path)) as writer:
         writer.write({"rec": "meta"})
-    assert path.read_text().startswith('{"rec":"meta"}')
+    lines = path.read_text().splitlines()
+    assert "provenance" in json.loads(lines[0])
+    assert lines[1].startswith('{"rec":"meta"}')
 
 
 def test_writer_close_in_foreign_pid_keeps_file(tmp_path):

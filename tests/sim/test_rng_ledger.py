@@ -1,0 +1,159 @@
+"""RNG draw ledger: observation-only wrapping, site keys, fault injection.
+
+The load-bearing property is **zero perturbation**: a ledgered stream must
+draw exactly the values an unwrapped ``random.Random`` with the same seed
+would, because the ledger exists to diagnose divergence — it must never
+cause any.  The perturbation knob is the deliberate exception: it flips
+exactly one primitive draw of one named stream, which is what the diverge
+engine's localization gates inject.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import (
+    RngLedger,
+    RngRegistry,
+    _parse_perturbation,
+    active_rng_ledger,
+    diff_ledgers,
+    rng_ledger,
+)
+
+
+# ----------------------------------------------------------------------
+# Observation without perturbation
+# ----------------------------------------------------------------------
+def _draw_mixture(stream: random.Random) -> list:
+    # Primitive draws plus derived draws (uniform/randrange/choice all
+    # funnel through random()/getrandbits()).
+    return [
+        stream.random(),
+        stream.uniform(0.0, 5.0),
+        stream.getrandbits(16),
+        stream.randrange(1000),
+        stream.choice(["a", "b", "c", "d"]),
+    ]
+
+
+def test_ledgered_streams_draw_identical_values():
+    plain = _draw_mixture(RngRegistry(7).stream("medium"))
+    with rng_ledger():
+        wrapped = _draw_mixture(RngRegistry(7).stream("medium"))
+    assert wrapped == plain
+
+
+def test_plain_registry_hands_out_unwrapped_streams():
+    stream = RngRegistry(1).stream("medium")
+    assert type(stream) is random.Random
+
+
+def test_ledger_scoping():
+    assert active_rng_ledger() is None
+    with rng_ledger() as ledger:
+        assert active_rng_ledger() is ledger
+    assert active_rng_ledger() is None
+
+
+def test_sites_count_per_call_site_and_stream():
+    with rng_ledger() as ledger:
+        registry = RngRegistry(3)
+        medium = registry.stream("medium")
+        jitter = registry.stream("jitter")
+        for _ in range(4):
+            medium.random()  # one site, four draws
+        jitter.uniform(0.0, 1.0)  # derived draw -> this line is the site
+    sites = ledger.snapshot()["sites"]
+    assert ledger.draws == 5
+    medium_sites = [site for site in sites if site.startswith("medium@")]
+    jitter_sites = [site for site in sites if site.startswith("jitter@")]
+    assert len(medium_sites) == 1 and sites[medium_sites[0]] == 4
+    assert len(jitter_sites) == 1 and sites[jitter_sites[0]] == 1
+    # Site keys name the *calling* code, not random.py internals.
+    assert "test_rng_ledger" in medium_sites[0]
+    assert "random.py" not in jitter_sites[0]
+
+
+def test_stream_digests_chain_drawn_values():
+    def run(seed):
+        with rng_ledger() as ledger:
+            RngRegistry(seed).stream("medium").random()
+        return ledger.stream_digests()["medium"]
+
+    assert run(1) == run(1)
+    assert run(1) != run(2)
+
+
+def test_diff_ledgers_reports_skewed_sites_sorted():
+    a = {"sites": {"s@f:g:1": 3, "s@f:g:2": 5, "t@f:h:9": 1}}
+    b = {"sites": {"s@f:g:1": 3, "s@f:g:2": 4}}
+    skews = diff_ledgers(a, b)
+    assert skews == [
+        {"site": "s@f:g:2", "a": 5, "b": 4},
+        {"site": "t@f:h:9", "a": 1, "b": 0},
+    ]
+    assert diff_ledgers(a, a) == []
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+def test_perturbation_flips_exactly_one_random_draw(monkeypatch):
+    baseline = RngRegistry(5)
+    values = [baseline.stream("medium").random() for _ in range(6)]
+    monkeypatch.setenv("REPRO_RNG_PERTURB", "medium:2")
+    perturbed_registry = RngRegistry(5)
+    perturbed = [perturbed_registry.stream("medium").random() for _ in range(6)]
+    flipped = [i for i in range(6) if perturbed[i] != values[i]]
+    assert flipped == [2]
+    assert perturbed[2] == pytest.approx(1.0 - values[2])
+
+
+def test_perturbation_flips_exactly_one_getrandbits_draw(monkeypatch):
+    baseline = RngRegistry(5).stream("w")
+    values = [baseline.getrandbits(8) for _ in range(4)]
+    monkeypatch.setenv("REPRO_RNG_PERTURB", "w:1")
+    stream = RngRegistry(5).stream("w")
+    perturbed = [stream.getrandbits(8) for _ in range(4)]
+    flipped = [i for i in range(4) if perturbed[i] != values[i]]
+    assert flipped == [1]
+    assert perturbed[1] == values[1] ^ 1
+
+
+def test_perturbation_targets_only_the_named_stream(monkeypatch):
+    baseline = _draw_mixture(RngRegistry(9).stream("other"))
+    monkeypatch.setenv("REPRO_RNG_PERTURB", "medium:0")
+    assert _draw_mixture(RngRegistry(9).stream("other")) == baseline
+
+
+def test_perturbation_composes_with_ledger(monkeypatch):
+    def digest(perturb):
+        if perturb:
+            monkeypatch.setenv("REPRO_RNG_PERTURB", "medium:0")
+        else:
+            monkeypatch.delenv("REPRO_RNG_PERTURB", raising=False)
+        with rng_ledger() as ledger:
+            stream = RngRegistry(2).stream("medium")
+            for _ in range(3):
+                stream.random()
+        snapshot = ledger.snapshot()
+        return snapshot["draws"], snapshot["streams"]["medium"]
+
+    plain_draws, plain_digest = digest(perturb=False)
+    fault_draws, fault_digest = digest(perturb=True)
+    # The ledger digests what was actually drawn: same count, different
+    # chained value digest — exactly what a real divergence looks like.
+    assert fault_draws == plain_draws == 3
+    assert fault_digest != plain_digest
+
+
+@pytest.mark.parametrize("raw", ["medium", ":3", "medium:", "medium:x", "m:-1"])
+def test_parse_perturbation_rejects_malformed(raw):
+    with pytest.raises(ConfigurationError):
+        _parse_perturbation(raw)
+
+
+def test_parse_perturbation_accepts_colons_in_stream_name():
+    assert _parse_perturbation("a:b:3") == ("a:b", 3)
