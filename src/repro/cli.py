@@ -30,6 +30,15 @@ Determinism observatory::
                                                # first divergent event
     python -m repro diverge --a file=fp.jsonl --b ''   # vs recorded stream
 
+Campaign store::
+
+    python -m repro fig12 --store runs/store --jobs 8   # durable campaign
+    python -m repro campaign resume fig12 --store runs/store   # pick up a
+                                                # killed campaign where it
+                                                # stopped (bit-identical)
+    python -m repro campaign status --store runs/store  # what's cached
+    python -m repro campaign gc --store runs/store      # sweep tmp litter
+
 Flight recorder::
 
     python -m repro fig4 --timeline tl.jsonl   # record protocol state
@@ -102,6 +111,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="event-kernel scheduler (sets REPRO_SCHEDULER; both are "
         "order-identical — outputs never change, only kernel speed)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="content-addressed campaign store (sets REPRO_STORE): "
+        "completed trials persist and are skipped on re-runs, so a "
+        "killed campaign resumes with `repro campaign resume <figure> "
+        "--store DIR` producing bit-identical tables",
     )
     parser.add_argument(
         "--trace",
@@ -330,6 +348,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.divergecli import main as diverge_main
 
         return diverge_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "campaign":
+        from repro.campaigncli import main as campaign_main
+
+        return campaign_main(raw_argv[1:])
 
     args = build_parser().parse_args(raw_argv)
     if args.seeds is not None:
@@ -340,6 +362,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_JOBS"] = str(args.jobs)
     if args.scheduler is not None:
         os.environ["REPRO_SCHEDULER"] = args.scheduler
+    if args.store is not None:
+        os.environ["REPRO_STORE"] = args.store
 
     if args.figure == "list":
         print("Available figures:")

@@ -14,6 +14,14 @@ from repro.experiments.runner import (
     run_trials,
     scale_factor,
 )
+from repro.experiments.store import (
+    CampaignStore,
+    StoreEntry,
+    canonical_params,
+    configured_store_path,
+    resolve_store,
+    task_digest,
+)
 from repro.experiments.scenario import (
     DEFAULT_RADIO_RANGE,
     Scenario,
@@ -32,17 +40,21 @@ from repro.experiments.workload import (
 
 __all__ = [
     "AggregateMetrics",
+    "CampaignStore",
     "DEFAULT_RADIO_RANGE",
     "DEFAULT_SEEDS",
     "Scenario",
+    "StoreEntry",
     "SweepPoint",
     "TrialFailure",
     "TrialMetrics",
     "TrialTimeout",
     "build_campus_scenario",
     "build_grid_scenario",
+    "canonical_params",
     "configured_jobs",
     "configured_seeds",
+    "configured_store_path",
     "configured_trial_timeout",
     "distribute_chunks",
     "distribute_metadata",
@@ -51,9 +63,11 @@ __all__ = [
     "make_video_item",
     "point_mean",
     "render_table",
+    "resolve_store",
     "run_sweep",
     "run_trials",
     "scale_factor",
+    "task_digest",
     "sensor_descriptor",
     "simulation_device_config",
 ]

@@ -53,12 +53,17 @@ def run(
     redundancy: int = 2,
     duration_s: float = 240.0,
     jobs: Optional[int] = None,
+    store: Optional[object] = None,
 ) -> List[Dict[str, object]]:
     """One row per mobility scale: recall, latency, overhead.
 
     Redundancy 2 by default: with single copies a leaving node can carry
     away the only copy of a chunk, which the paper's scenario avoids by
     having copies cached during prior sharing.
+
+    ``store`` (default: the ``REPRO_STORE`` env knob / ``--store``) makes
+    the sweep durable and resumable; the scenario spec dataclass is part
+    of each trial's content address, so different specs never collide.
     """
     points = [
         {
@@ -76,6 +81,7 @@ def run(
         seeds=seeds,
         jobs=jobs,
         label_fn=lambda p: f"{p['spec'].name} x{p['scale']}",
+        store=store,
     )
     table = []
     for sweep_point in sweep:

@@ -49,8 +49,15 @@ def run(
     seeds: Optional[Sequence[int]] = None,
     entries_per_node: int = ENTRIES_PER_NODE,
     jobs: Optional[int] = None,
+    store: Optional[object] = None,
 ) -> List[Dict[str, object]]:
-    """One row per grid size: recall, latency, overhead of one round."""
+    """One row per grid size: recall, latency, overhead of one round.
+
+    ``store`` (default: the ``REPRO_STORE`` env knob / ``--store``) makes
+    the sweep durable and resumable; ``entries_per_node`` is scale-baked
+    into each point before keying, so trials at different ``--scale``
+    values never collide in the store.
+    """
     points = [
         {"size": size, "entries_per_node": entries_per_node}
         for size in grid_sizes
@@ -61,6 +68,7 @@ def run(
         seeds=seeds,
         jobs=jobs,
         label_fn=lambda p: f"{p['size']}x{p['size']}",
+        store=store,
     )
     table = []
     for sweep_point in sweep:

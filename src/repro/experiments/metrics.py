@@ -41,9 +41,14 @@ class TrialFailure:
         label: The trial's campaign label (e.g. ``"seed 3"``).
         seed: The seed that failed, or -1 when unknown.
         kind: ``"error"`` (trial raised), ``"timeout"`` (per-trial deadline
-            hit) or ``"crash"`` (the worker process died).
+            hit) or ``"crash"`` (the worker process died).  A kind is only
+            ever the failing task's own behaviour: a sibling sharing a
+            pool with a crashing trial is requeued, never blamed.
         error: Stringified exception from the final attempt.
-        attempts: How many times the trial was tried before giving up.
+        attempts: Executions attributable to *this* task.  Pool-wide
+            ``BrokenProcessPool`` fallout on sibling tasks is not charged
+            — only runs where the task itself raised, timed out, or was
+            the lone task in a broken pool count.
     """
 
     label: str
@@ -90,12 +95,21 @@ class AggregateMetrics:
     hot_subsystem: str = ""
     #: How many trials carried a kernel-profile summary at all.
     profiled_trials: int = 0
+    #: Trials satisfied from a campaign store instead of being executed.
+    #: ``None`` when the campaign ran without a store (the column stays
+    #: out of ``as_row()`` so store-less tables keep their exact shape).
+    cache_hits: "int | None" = None
+    #: Trials actually executed this campaign (store campaigns only):
+    #: ``cache_hits + executed == trials + len(failures)``.
+    executed: "int | None" = None
 
     @classmethod
     def from_trials(
         cls,
         trials: Sequence[TrialMetrics],
         failures: Sequence[TrialFailure] = (),
+        cache_hits: "int | None" = None,
+        executed: "int | None" = None,
     ) -> "AggregateMetrics":
         if not trials and not failures:
             raise ValueError("cannot aggregate zero trials")
@@ -110,6 +124,8 @@ class AggregateMetrics:
                 rounds_mean=0.0,
                 trials=0,
                 failures=tuple(failures),
+                cache_hits=cache_hits,
+                executed=executed,
             )
         recalls = [t.recall for t in trials]
         latencies = [t.latency_s for t in trials]
@@ -180,6 +196,8 @@ class AggregateMetrics:
             profile=profile,
             hot_subsystem=hot_subsystem,
             profiled_trials=len(profiles),
+            cache_hits=cache_hits,
+            executed=executed,
         )
 
     def as_row(self) -> Dict[str, float]:
@@ -216,6 +234,14 @@ class AggregateMetrics:
             for name, value in self.profile:
                 row[name] = round(value, 3)
             row["hot_subsystem"] = self.hot_subsystem
+        if self.cache_hits is not None:
+            # Store-backed campaigns only: how much of the table came from
+            # cached trials vs fresh executions.  Intentionally absent on
+            # store-less runs so their tables stay byte-identical to the
+            # pre-store format.
+            row["cache_hits"] = self.cache_hits
+            if self.executed is not None:
+                row["executed"] = self.executed
         return row
 
 

@@ -37,14 +37,33 @@ everything on the caller's thread, exactly as before.  With ``jobs>1``:
   types cannot cross a process boundary and raise
   :class:`~repro.errors.ConfigurationError` telling you to use
   ``jobs=1``.
+
+Campaign store
+--------------
+
+Both entry points take ``store=`` (a path or
+:class:`~repro.experiments.store.CampaignStore`; default: the
+``REPRO_STORE`` env knob, CLI ``--store``) and ``resume=`` knobs.  With a
+store, every completed trial is durably recorded under its content
+address and — with ``resume=True``, the default — trials whose digest is
+already present are *skipped*: their cached values slot into the
+reassembly exactly where execution would have put them, so the final
+tables are bit-identical to an uninterrupted run.  A campaign killed
+mid-flight (even ``SIGKILL``) resumes from what it finished; in-flight
+trials simply re-run.  Worker-shard hygiene rides along: each trial
+attempt ends with a commit/abort marker on the worker's JSONL shards,
+and after the campaign the shards are sanitized so events from failed or
+abandoned attempts never double-count in merged spans/timelines.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import multiprocessing.util
 import os
 import signal
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -63,6 +82,12 @@ from typing import (
 
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments.metrics import AggregateMetrics, TrialFailure, TrialMetrics
+from repro.experiments.store import (
+    CampaignStore,
+    resolve_store,
+    task_digest,
+    trial_id,
+)
 from repro.obs import fingerprint as obs_fingerprint
 from repro.obs import kernelprof as obs_kernelprof
 from repro.obs import memprof as obs_memprof
@@ -305,6 +330,39 @@ def _audited_call(trial: Callable[..., Any], args: Tuple[Any, ...]) -> Any:
     return result
 
 
+def _mark_attempt(outcome: str, label: str) -> None:
+    """End one trial attempt on every open JSONL artifact of this worker.
+
+    Writes ``{"attempt": "commit"|"abort", "label": ...}`` to the
+    worker's trace shards and to the timeline/fingerprint writers *if
+    they are already open* (a marker must never force an idle lazy shard
+    into existence), then flushes — so once an attempt commits, its
+    events survive the worker being killed during a *later* trial.
+    Post-campaign sanitization keeps exactly the committed segments:
+    aborted attempts, duplicate commits of the same label, and the
+    unterminated tail a killed worker leaves are all dropped, which is
+    what stops a retried trial's abandoned first attempt from
+    double-counting in merged spans and timelines.
+    """
+    doc = {"attempt": outcome, "label": label}
+    for sink in obs_trace.global_sinks():
+        if isinstance(sink, obs_trace.JsonlSink):
+            sink.write_doc(doc)
+            sink.flush()
+    recording = obs_recorder.configured_recording()
+    if recording is not None:
+        writer = recording.current_writer()
+        if writer is not None:
+            writer.write_doc(doc)
+            writer.flush()
+    fingerprint = obs_fingerprint.configured_fingerprint()
+    if fingerprint is not None:
+        writer = fingerprint.current_writer()
+        if writer is not None:
+            writer.write_doc(doc)
+            writer.flush()
+
+
 @contextmanager
 def _trial_deadline(timeout_s: Optional[float], label: str) -> Iterator[None]:
     """Raise :class:`TrialTimeout` if the block runs longer than allowed.
@@ -368,14 +426,22 @@ def _run_task_in_worker(
         if obs_kernelprof.configured_profiling()
         else None
     )
-    with collect_registries() as registries:
-        with profiler.activate(), profiler.label(label):
-            with _trial_deadline(timeout_s, label):
-                if kernel is not None:
-                    with kernel.activate():
+    try:
+        with collect_registries() as registries:
+            with profiler.activate(), profiler.label(label):
+                with _trial_deadline(timeout_s, label):
+                    if kernel is not None:
+                        with kernel.activate():
+                            value = _audited_call(trial, args)
+                    else:
                         value = _audited_call(trial, args)
-                else:
-                    value = _audited_call(trial, args)
+    except BaseException:
+        # The attempt's partial shard events must not survive the merge;
+        # a killed worker writes no marker, leaving an unterminated tail
+        # that sanitization drops the same way.
+        _mark_attempt("abort", label)
+        raise
+    _mark_attempt("commit", label)
     merged = MetricsRegistry()
     for registry in registries:
         merged.merge_snapshot(registry.snapshot())
@@ -485,19 +551,127 @@ def _failure_kind(error: BaseException) -> str:
     return "error"
 
 
+def _sanitize_shard(path: str, committed_labels: set) -> None:
+    """Keep only committed attempt segments of one worker JSONL shard.
+
+    A shard is a sequence of segments, each terminated by an attempt
+    marker (``{"attempt": "commit"|"abort", "label": ...}``).  Aborted
+    segments, the unterminated tail a killed worker leaves, truncated
+    lines, and duplicate commits of a label already committed on an
+    earlier shard (a worker killed between finishing a trial and
+    delivering its result forces a re-run of an already-committed trial)
+    are all dropped; markers themselves are stripped.  Provenance headers
+    always survive.  The rewrite is atomic (temp file + rename), and a
+    shard with nothing to drop is left byte-untouched.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError:
+        return
+    kept: List[str] = []
+    segment: List[str] = []
+    dirty = False
+    for line in lines:
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            doc = json.loads(stripped)
+        except ValueError:
+            # Truncated tail of a killed writer: part of the unterminated
+            # (dead) attempt — dropped with the rest of its segment.
+            segment.append(line)
+            continue
+        if isinstance(doc, dict) and "provenance" in doc:
+            kept.append(line)
+            continue
+        if isinstance(doc, dict) and "attempt" in doc:
+            label = doc.get("label")
+            if doc.get("attempt") == "commit" and label not in committed_labels:
+                committed_labels.add(label)
+                kept.extend(segment)
+            dirty = True
+            segment = []
+            continue
+        segment.append(line)
+    if segment:
+        dirty = True  # unterminated tail: the attempt died mid-write
+    if not dirty:
+        return
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as out:
+            out.writelines(kept)
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _clean_artifact_shards(base: str, count: int) -> None:
+    """Post-campaign shard hygiene for one sharded JSONL artifact.
+
+    Sanitizes this campaign's shards (``<stem>.0<ext>`` …
+    ``<stem>.<count-1><ext>``) in index order — so a trial committed on
+    two shards (worker killed after commit but before result delivery,
+    then re-run) keeps only its first copy — and deletes shards with
+    index ≥ ``count``: leftovers of an earlier, wider (or killed)
+    campaign that a merged load would otherwise double-count.
+    """
+    stem, ext = os.path.splitext(base)
+    committed_labels: set = set()
+    for index in range(count):
+        path = f"{stem}.{index}{ext}"
+        if os.path.exists(path):
+            _sanitize_shard(path, committed_labels)
+    directory = os.path.dirname(base) or "."
+    prefix = os.path.basename(stem) + "."
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return
+    for name in names:
+        if not (name.startswith(prefix) and name.endswith(ext)):
+            continue
+        middle = name[len(prefix) : len(name) - len(ext)] if ext else name[len(prefix) :]
+        if middle.isdigit() and int(middle) >= count:
+            try:
+                os.unlink(os.path.join(directory, name))
+            except OSError:
+                pass
+
+
 def _execute_parallel(
     trial: Callable[..., Any],
     tasks: Sequence[_Task],
     jobs: int,
     timeout_s: Optional[float],
     retries: int,
-) -> Tuple[Dict[int, Any], Dict[int, TrialFailure]]:
+) -> Tuple[Dict[int, Any], Dict[int, TrialFailure], Dict[int, Any]]:
     """Fan tasks out over worker processes with retry and crash isolation.
 
-    Returns ``(values_by_key, failures_by_key)``.  Worker profiler records
-    are folded into the parent's active profiler and worker metric
-    snapshots into a registry that joins any open
-    :func:`collect_registries` block.
+    Returns ``(values_by_key, failures_by_key, snapshots_by_key)`` —
+    the last carries each successful trial's merged metrics snapshot so a
+    campaign store can record it.  Worker profiler records are folded
+    into the parent's active profiler and worker metric snapshots into a
+    registry that joins any open :func:`collect_registries` block.
+
+    Failure accounting is per-task: an attempt is only charged when the
+    task itself raised, timed out, or was the lone task in a pool whose
+    worker died.  When a worker death breaks a pool with several tasks in
+    flight, ``BrokenProcessPool`` is raised on *every* pending future —
+    including siblings that never ran on the dead worker — so those tasks
+    are requeued attempt-free; the retry round runs one task per pool
+    (crash isolation), where blame is unambiguous.
     """
     context = _pool_context()
     shard_bases = _plan_trace_shards(context)
@@ -517,9 +691,24 @@ def _execute_parallel(
 
     values: Dict[int, Any] = {}
     failures: Dict[int, TrialFailure] = {}
+    snapshots: Dict[int, Any] = {}
     attempts: Dict[int, int] = {task.key: 0 for task in tasks}
     queue: List[_Task] = list(tasks)
     isolate = False  # after a worker death, retry one task per pool
+
+    def charge(task: _Task, error: BaseException) -> None:
+        """Record one genuine execution of ``task`` that ended in ``error``."""
+        attempts[task.key] += 1
+        if attempts[task.key] <= retries:
+            queue.append(task)
+        else:
+            failures[task.key] = TrialFailure(
+                label=task.label,
+                seed=task.seed,
+                kind=_failure_kind(error),
+                error=f"{type(error).__name__}: {error}",
+                attempts=attempts[task.key],
+            )
 
     while queue:
         batch, queue = queue, []
@@ -544,34 +733,193 @@ def _execute_parallel(
                     ): task
                     for task in group
                 }
+                broken: List[Tuple[_Task, BaseException]] = []
                 for future, task in futures.items():
                     try:
                         value, records, snapshot, kernel_snap = future.result()
                     except BaseException as error:  # noqa: BLE001 — recorded
                         if isinstance(error, BrokenProcessPool):
+                            # A worker death poisons every pending future
+                            # in the pool; which task actually ran on the
+                            # dead worker is only knowable from the pool's
+                            # composition, so attribution is deferred
+                            # until the whole group has drained.
                             saw_crash = True
-                        attempts[task.key] += 1
-                        if attempts[task.key] <= retries:
-                            queue.append(task)
+                            broken.append((task, error))
                         else:
-                            failures[task.key] = TrialFailure(
-                                label=task.label,
-                                seed=task.seed,
-                                kind=_failure_kind(error),
-                                error=f"{type(error).__name__}: {error}",
-                                attempts=attempts[task.key],
-                            )
+                            # The exception was pickled back from the
+                            # worker: this task genuinely executed (and
+                            # raised or timed out), so the attempt is its
+                            # own.
+                            charge(task, error)
                     else:
                         values[task.key] = value
+                        snapshots[task.key] = snapshot
                         if profiler is not None:
                             profiler.extend(records)
                         if kernel is not None and kernel_snap is not None:
                             kernel.merge_snapshot(kernel_snap)
                         campaign_metrics.merge_snapshot(snapshot)
+            if len(broken) == 1:
+                # Exactly one task was in flight when the pool broke, so
+                # the dead worker was running it: the crash is its own.
+                charge(broken[0][0], broken[0][1])
+            elif broken:
+                # Several tasks were poisoned by one worker death; the
+                # innocent siblings must not be charged (a healthy trial
+                # could otherwise exhaust its retries — and be recorded
+                # as a "crash" — without ever failing itself).  Requeue
+                # everyone attempt-free; the isolated retry round pins
+                # the blame.
+                queue.extend(task for task, _ in broken)
         if saw_crash:
             isolate = True
 
-    return values, failures
+    if shard_counter is not None:
+        bases = list(shard_bases)
+        if timeline_shards:
+            timeline_base = obs_recorder.recording_shard_base()
+            if timeline_base:
+                bases.append(timeline_base)
+        if fingerprint_shards:
+            fingerprint_config = obs_fingerprint.configured_fingerprint()
+            if fingerprint_config is not None and fingerprint_config.path:
+                bases.append(fingerprint_config.path)
+        for base in bases:
+            _clean_artifact_shards(base, shard_counter.value)
+
+    return values, failures, snapshots
+
+
+# ----------------------------------------------------------------------
+# Campaign-store plumbing
+# ----------------------------------------------------------------------
+def _campaign_artifacts() -> Dict[str, Any]:
+    """JSONL artifact base paths recorded on every store entry.
+
+    Points a store entry back at the trace/timeline/fingerprint streams
+    the campaign that executed it was writing (per-worker shards live
+    next to these bases).  Cached trials emit no events in a resumed
+    campaign, so its artifact files cover only the trials it executed —
+    the original campaign's artifacts are named here.
+    """
+    artifacts: Dict[str, Any] = {}
+    trace_paths = [
+        sink.path
+        for sink in obs_trace.global_sinks()
+        if isinstance(sink, obs_trace.JsonlSink)
+    ]
+    if trace_paths:
+        artifacts["trace"] = trace_paths
+    timeline_base = obs_recorder.recording_shard_base()
+    if timeline_base:
+        artifacts["timeline"] = timeline_base
+    fingerprint = obs_fingerprint.configured_fingerprint()
+    if fingerprint is not None and fingerprint.path:
+        artifacts["fingerprint"] = fingerprint.path
+    return artifacts
+
+
+def _run_task_serial(
+    trial: Callable[..., Any], task: _Task, profiler: Optional[RunProfiler]
+) -> Tuple[Any, Dict[str, Dict[str, object]]]:
+    """One in-process trial plus its metrics snapshot (for the store).
+
+    The scratch registry stays unregistered: the trial's own registries
+    already joined any open collector, so a registered merge target would
+    double every instrument in the caller's campaign view.
+    """
+    with collect_registries() as registries:
+        if profiler is not None:
+            with profiler.label(task.label):
+                value = _audited_call(trial, task.args)
+        else:
+            value = _audited_call(trial, task.args)
+    scratch = MetricsRegistry(register=False)
+    for registry in registries:
+        scratch.merge_snapshot(registry.snapshot())
+    return value, scratch.snapshot()
+
+
+def _run_stored_campaign(
+    trial: Callable[..., Any],
+    tasks: Sequence[_Task],
+    store: CampaignStore,
+    resume: bool,
+    jobs: int,
+    timeout_s: Optional[float],
+    retries: int,
+) -> Tuple[Dict[int, Any], Dict[int, TrialFailure], set]:
+    """Run a keyed campaign against a content-addressed store.
+
+    Returns ``(values_by_key, failures_by_key, hit_keys)``.  With
+    ``resume`` on, tasks whose digest already has a successful entry are
+    satisfied from the store (their cached metrics snapshots merge into a
+    registry that joins any open collector); everything else executes and
+    is written through — values on success, failure records when a task
+    permanently fails.  Stored *failures* never count as hits: crashes
+    and timeouts are environment-dependent, so a resumed campaign re-runs
+    them (a deterministic error just fails identically again, keeping the
+    resumed table bit-identical).
+    """
+    name = trial_id(trial)
+    digests = {task.key: task_digest(trial, task.args) for task in tasks}
+    artifacts = _campaign_artifacts()
+    # Registers with the caller's collector (if any) so cached trials'
+    # metrics still reach the campaign-wide view.
+    campaign_metrics = MetricsRegistry()
+
+    values: Dict[int, Any] = {}
+    failures: Dict[int, TrialFailure] = {}
+    hit_keys: set = set()
+    if resume:
+        for task in tasks:
+            entry = store.get(digests[task.key])
+            if entry is None:
+                continue
+            values[task.key] = entry.value
+            hit_keys.add(task.key)
+            if entry.metrics:
+                campaign_metrics.merge_snapshot(entry.metrics)
+
+    misses = [task for task in tasks if task.key not in hit_keys]
+    if jobs == 1:
+        # Serial contract unchanged: exceptions propagate.  Completed
+        # trials are already durably stored, so a crashed serial campaign
+        # resumes from the trial it died in.
+        profiler = active_profiler()
+        for task in misses:
+            value, snapshot = _run_task_serial(trial, task, profiler)
+            store.put_value(
+                digests[task.key],
+                name,
+                task.label,
+                task.seed,
+                value,
+                metrics=snapshot,
+                artifacts=artifacts,
+            )
+            values[task.key] = value
+    elif misses:
+        executed, failures, snapshots = _execute_parallel(
+            trial, misses, jobs, timeout_s, retries
+        )
+        by_key = {task.key: task for task in misses}
+        for key, value in executed.items():
+            task = by_key[key]
+            store.put_value(
+                digests[key],
+                name,
+                task.label,
+                task.seed,
+                value,
+                metrics=snapshots.get(key),
+                artifacts=artifacts,
+            )
+        for key, failure in failures.items():
+            store.put_failure(digests[key], name, failure, artifacts=artifacts)
+        values.update(executed)
+    return values, failures, hit_keys
 
 
 # ----------------------------------------------------------------------
@@ -584,6 +932,8 @@ def run_trials(
     timeout_s: Optional[float] = None,
     retries: int = 1,
     timeline: Optional[Any] = None,
+    store: Optional[Any] = None,
+    resume: bool = True,
 ) -> AggregateMetrics:
     """Run ``trial`` per seed and aggregate.
 
@@ -594,6 +944,15 @@ def run_trials(
     :class:`~repro.experiments.metrics.TrialFailure` on the returned
     aggregate and the campaign continues.  Results are aggregated in seed
     order either way, so the statistics are identical for both paths.
+
+    ``store`` (a path or :class:`~repro.experiments.store.CampaignStore`;
+    default: the ``REPRO_STORE`` env knob) makes the campaign durable:
+    every completed trial is recorded under its content address, and with
+    ``resume=True`` (the default) trials already in the store are skipped
+    — their cached values aggregate exactly where execution would have
+    put them, so the result is bit-identical to an uninterrupted run.
+    The aggregate's ``cache_hits``/``executed`` fields say how much came
+    from the store.
 
     ``timeline=True`` records a flight-recorder timeline of every trial
     in memory; ``timeline="path.jsonl"`` additionally streams it to a
@@ -610,7 +969,13 @@ def run_trials(
         path = timeline if isinstance(timeline, str) else None
         with obs_recorder.recording(path=path):
             return run_trials(
-                trial, seeds=seeds, jobs=jobs, timeout_s=timeout_s, retries=retries
+                trial,
+                seeds=seeds,
+                jobs=jobs,
+                timeout_s=timeout_s,
+                retries=retries,
+                store=store,
+                resume=resume,
             )
     if seeds is None:
         seeds = configured_seeds()
@@ -619,25 +984,45 @@ def run_trials(
         jobs = configured_jobs()
     if timeout_s is None:
         timeout_s = configured_trial_timeout()
-    if jobs == 1:
-        profiler = active_profiler()
-        results = []
-        for seed in seeds:
-            if profiler is not None:
-                with profiler.label(f"seed {seed}"):
+    campaign_store = resolve_store(store)
+
+    if campaign_store is None:
+        if jobs == 1:
+            profiler = active_profiler()
+            results = []
+            for seed in seeds:
+                if profiler is not None:
+                    with profiler.label(f"seed {seed}"):
+                        results.append(_audited_call(trial, (seed,)))
+                else:
                     results.append(_audited_call(trial, (seed,)))
-            else:
-                results.append(_audited_call(trial, (seed,)))
-        return AggregateMetrics.from_trials(results)
+            return AggregateMetrics.from_trials(results)
+        tasks = [
+            _Task(key=index, seed=seed, label=f"seed {seed}", args=(seed,))
+            for index, seed in enumerate(seeds)
+        ]
+        values, failures, _ = _execute_parallel(
+            trial, tasks, jobs, timeout_s, retries
+        )
+        ordered = [values[key] for key in sorted(values)]
+        ordered_failures = [failures[key] for key in sorted(failures)]
+        return AggregateMetrics.from_trials(ordered, failures=ordered_failures)
 
     tasks = [
         _Task(key=index, seed=seed, label=f"seed {seed}", args=(seed,))
         for index, seed in enumerate(seeds)
     ]
-    values, failures = _execute_parallel(trial, tasks, jobs, timeout_s, retries)
+    values, failures, hit_keys = _run_stored_campaign(
+        trial, tasks, campaign_store, resume, jobs, timeout_s, retries
+    )
     ordered = [values[key] for key in sorted(values)]
     ordered_failures = [failures[key] for key in sorted(failures)]
-    return AggregateMetrics.from_trials(ordered, failures=ordered_failures)
+    return AggregateMetrics.from_trials(
+        ordered,
+        failures=ordered_failures,
+        cache_hits=len(hit_keys),
+        executed=len(tasks) - len(hit_keys),
+    )
 
 
 @dataclass(frozen=True)
@@ -651,6 +1036,10 @@ class SweepPoint:
             seeds that succeeded.
         seeds: The seeds behind ``results`` (same order).
         failures: Seeds that kept failing (parallel campaigns only).
+        cache_hits: Seeds satisfied from a campaign store instead of
+            being executed (``None`` when the sweep ran without a store).
+        executed: Seeds actually executed this campaign (store sweeps
+            only): ``cache_hits + executed == len(seeds-swept)``.
     """
 
     point: Any
@@ -658,6 +1047,8 @@ class SweepPoint:
     results: Tuple[Any, ...]
     seeds: Tuple[int, ...]
     failures: Tuple[TrialFailure, ...] = ()
+    cache_hits: Optional[int] = None
+    executed: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -674,6 +1065,8 @@ def run_sweep(
     retries: int = 1,
     label_fn: Optional[Callable[[Any], str]] = None,
     timeline: Optional[Any] = None,
+    store: Optional[Any] = None,
+    resume: bool = True,
 ) -> List[SweepPoint]:
     """Run ``trial(point, seed)`` over a whole (point × seed) grid.
 
@@ -693,6 +1086,13 @@ def run_sweep(
     (trials are labelled ``"<point-label> seed <seed>"``).
 
     ``timeline`` behaves exactly as in :func:`run_trials`.
+
+    ``store``/``resume`` behave exactly as in :func:`run_trials`: with a
+    store (or ``REPRO_STORE``), every (point, seed) trial is keyed by its
+    content digest, completed trials persist across process restarts, and
+    a resumed sweep skips cached trials while producing bit-identical
+    :class:`SweepPoint` results; each point's ``cache_hits``/``executed``
+    fields say how much came from the store.
     """
     if timeline:
         path = timeline if isinstance(timeline, str) else None
@@ -705,6 +1105,8 @@ def run_sweep(
                 timeout_s=timeout_s,
                 retries=retries,
                 label_fn=label_fn,
+                store=store,
+                resume=resume,
             )
     if seeds is None:
         seeds = configured_seeds()
@@ -718,8 +1120,9 @@ def run_sweep(
         label_fn(point) if label_fn is not None else f"point {index}"
         for index, point in enumerate(points)
     ]
+    campaign_store = resolve_store(store)
 
-    if jobs == 1:
+    if campaign_store is None and jobs == 1:
         profiler = active_profiler()
         sweep = []
         for index, point in enumerate(points):
@@ -751,13 +1154,22 @@ def run_sweep(
                     args=(point, seed),
                 )
             )
-    values, failures_by_key = _execute_parallel(trial, tasks, jobs, timeout_s, retries)
+    if campaign_store is None:
+        values, failures_by_key, _ = _execute_parallel(
+            trial, tasks, jobs, timeout_s, retries
+        )
+        hit_keys: set = set()
+    else:
+        values, failures_by_key, hit_keys = _run_stored_campaign(
+            trial, tasks, campaign_store, resume, jobs, timeout_s, retries
+        )
 
     sweep = []
     for point_index, point in enumerate(points):
         point_results = []
         point_seeds = []
         point_failures = []
+        point_hits = 0
         for seed_index, seed in enumerate(seeds):
             key = point_index * len(seeds) + seed_index
             if key in values:
@@ -765,6 +1177,8 @@ def run_sweep(
                 point_seeds.append(seed)
             elif key in failures_by_key:
                 point_failures.append(failures_by_key[key])
+            if key in hit_keys:
+                point_hits += 1
         sweep.append(
             SweepPoint(
                 point=point,
@@ -772,6 +1186,12 @@ def run_sweep(
                 results=tuple(point_results),
                 seeds=tuple(point_seeds),
                 failures=tuple(point_failures),
+                cache_hits=point_hits if campaign_store is not None else None,
+                executed=(
+                    len(seeds) - point_hits
+                    if campaign_store is not None
+                    else None
+                ),
             )
         )
     return sweep

@@ -24,6 +24,7 @@ import atexit
 import json
 import multiprocessing.util
 import os
+import tempfile
 from typing import Any, Dict
 
 
@@ -67,6 +68,36 @@ def provenance_doc() -> Dict[str, Any]:
             "detail": list(fp.detail) if fp.detail is not None else None,
         }
     return doc
+
+
+def write_json_atomic(path: str, doc: Dict[str, Any]) -> None:
+    """Crash-safely publish one JSON document at ``path``.
+
+    The document is serialized to a temporary file *in the same
+    directory* (same filesystem, so the final rename cannot degrade to a
+    copy), flushed and ``fsync``\\ ed, then moved into place with
+    ``os.replace`` — readers either see the complete old content, the
+    complete new content, or nothing, never a truncated tail.  A process
+    killed mid-write leaves only a ``*.tmp`` file that readers ignore
+    (the campaign store's ``gc`` sweeps them up).
+    """
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, separators=(",", ":"), sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 class DurableJsonlWriter:

@@ -182,6 +182,14 @@ class FingerprintConfig:
             self._writer = FingerprintWriter(self.path)
         return self._writer
 
+    def current_writer(self) -> Optional[FingerprintWriter]:
+        """The writer if one is already open; never opens one.
+
+        The parallel runner's attempt markers use this: a marker must
+        never force an otherwise-idle worker shard into existence.
+        """
+        return self._writer
+
     def reshard(self, index: int) -> None:
         """Re-point a forked worker at its own ``<stem>.<k><ext>`` shard."""
         self._writer = None
@@ -645,7 +653,9 @@ def load_fingerprints(path: str) -> FingerprintLoad:
                 if not isinstance(record, dict):
                     skipped += 1
                     continue
-                if "provenance" in record:
+                if "provenance" in record or "attempt" in record:
+                    # Provenance headers and the parallel runner's attempt
+                    # commit/abort markers are bookkeeping, not records.
                     continue
                 kind = record.get("fp")
                 if kind not in ("meta", "ckpt", "event"):

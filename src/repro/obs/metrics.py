@@ -227,14 +227,22 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named instruments; getters create on first use and are idempotent."""
+    """Named instruments; getters create on first use and are idempotent.
 
-    def __init__(self) -> None:
+    ``register=False`` keeps the registry out of any open
+    :func:`collect_registries` buckets — for scratch registries that fold
+    snapshots already visible to the collector (e.g. the serial campaign
+    runner snapshotting one trial for the campaign store), where joining
+    the bucket would double-count every instrument.
+    """
+
+    def __init__(self, register: bool = True) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
-        for bucket in _COLLECTORS:
-            bucket.append(self)
+        if register:
+            for bucket in _COLLECTORS:
+                bucket.append(self)
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:

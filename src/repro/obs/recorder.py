@@ -151,6 +151,14 @@ class RecordingConfig:
             self._writer = TimelineWriter(self.path)
         return self._writer
 
+    def current_writer(self) -> Optional[TimelineWriter]:
+        """The writer if one is already open; never opens one.
+
+        The parallel runner's attempt markers use this: a marker must
+        never force an otherwise-idle worker shard into existence.
+        """
+        return self._writer
+
     def reshard(self, index: int) -> None:
         """Re-point a forked worker at its own ``<stem>.<k><ext>`` shard.
 

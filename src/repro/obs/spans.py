@@ -151,6 +151,11 @@ def load_trace(path: str) -> TraceLoad:
                     # The file-header provenance record (version, scheduler,
                     # fingerprint config) — expected, not a skipped line.
                     continue
+                if "attempt" in event:
+                    # Attempt commit/abort marker from the parallel runner
+                    # (normally stripped by post-campaign sanitization, but
+                    # a killed parent can leave them) — not an event.
+                    continue
                 seen_lines.add(line)
                 event["shard"] = shard
                 events.append(event)

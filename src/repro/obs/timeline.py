@@ -103,9 +103,12 @@ def load_timeline(path: str) -> TimelineLoad:
                 except ValueError:
                     skipped += 1
                     continue
-                if isinstance(record, dict) and "provenance" in record:
-                    # File-header provenance record — expected, not a
-                    # skipped line.
+                if isinstance(record, dict) and (
+                    "provenance" in record or "attempt" in record
+                ):
+                    # File-header provenance records and the parallel
+                    # runner's attempt markers — expected, not skipped
+                    # lines.
                     continue
                 if not isinstance(record, dict) or "rec" not in record:
                     skipped += 1

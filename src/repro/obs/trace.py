@@ -179,7 +179,9 @@ def read_jsonl(path: str) -> List[Dict[str, object]]:
             if not line:
                 continue
             doc = json.loads(line)
-            if isinstance(doc, dict) and "provenance" in doc:
+            if isinstance(doc, dict) and ("provenance" in doc or "attempt" in doc):
+                # Provenance headers and the parallel runner's attempt
+                # commit/abort markers are bookkeeping, not events.
                 continue
             events.append(doc)
     return events

@@ -104,6 +104,96 @@ def test_parallel_worker_crash_is_isolated():
     assert agg.failures[0].seed == 2
 
 
+def test_crash_does_not_fail_innocent_siblings():
+    """One worker's death poisons every pending future in the pool with
+    BrokenProcessPool; with retries=0 the old accounting turned healthy
+    sibling trials into permanent kind='crash' failures after a single
+    genuine attempt.  Only the task that ran on the dead worker may fail."""
+    agg = run_trials(_dies_on_seed_2, seeds=[1, 2, 3], jobs=2, retries=0)
+    assert agg.trials == 2  # seeds 1 and 3 complete despite the shared pool
+    assert [f.seed for f in agg.failures] == [2]
+    assert [f.kind for f in agg.failures] == ["crash"]
+    # One *charged* execution: the isolated retry where blame is
+    # unambiguous.  Pool-wide fallout is never charged to anyone.
+    assert agg.failures[0].attempts == 1
+
+
+def test_crash_attempts_reflect_charged_executions():
+    """TrialFailure.attempts counts executions attributable to the task
+    itself — never inflated by sibling crashes sharing its pool."""
+    agg = run_trials(_dies_on_seed_2, seeds=[1, 2, 3], jobs=2, retries=1)
+    assert agg.trials == 2
+    failure = agg.failures[0]
+    assert failure.seed == 2 and failure.kind == "crash"
+    assert failure.attempts == 2  # isolated first charge + one retry
+
+
+def test_failure_kinds_only_for_exhibiting_task():
+    """After the spillover fix, 'crash' appears only on the crashing
+    trial; an erroring sibling keeps its own kind."""
+
+    agg = run_trials(_dies_or_raises, seeds=[1, 2, 3, 4], jobs=2, retries=0)
+    kinds = {f.seed: f.kind for f in agg.failures}
+    assert kinds == {2: "crash", 3: "error"}
+    assert agg.trials == 2  # seeds 1 and 4 survive
+
+
+def _dies_or_raises(seed):
+    if seed == 2:
+        os._exit(17)
+    if seed == 3:
+        raise RuntimeError("injected failure")
+    return _ok_trial(seed)
+
+
+def _traced_dies_once_on_seed_2(seed):
+    """Emits a trace event, then dies on seed 2's *first* attempt only.
+
+    The flag file (path via env, inherited across fork) makes the death
+    one-shot, so the retry succeeds — leaving the aborted attempt's
+    partial shard events for sanitization to drop.
+    """
+    bus = obs_trace.TraceBus()
+    for sink in obs_trace.global_sinks():
+        bus.subscribe(sink)
+    bus.emit("trial.ran", seed=seed)
+    if seed == 2:
+        flag = os.environ["REPRO_TEST_DIE_ONCE_FLAG"]
+        if not os.path.exists(flag):
+            with open(flag, "w"):
+                pass
+            for sink in obs_trace.global_sinks():
+                # Land the partial event on disk before dying, like a
+                # buffer flush mid-trial would.
+                sink.flush()
+            os._exit(23)
+    return _ok_trial(seed)
+
+
+@pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="trace shards need fork",
+)
+def test_crashed_attempt_shard_events_are_dropped(tmp_path, monkeypatch):
+    """A killed attempt's partial trace shard events must not
+    double-count next to the successful retry's events."""
+    monkeypatch.setenv(
+        "REPRO_TEST_DIE_ONCE_FLAG", str(tmp_path / "died-once")
+    )
+    path = str(tmp_path / "trace.jsonl")
+    with obs_trace.global_sink(obs_trace.JsonlSink(path)):
+        agg = run_trials(_traced_dies_once_on_seed_2, seeds=[1, 2, 3], jobs=2)
+    assert agg.trials == 3 and not agg.failures  # the retry succeeded
+    events = []
+    for name in sorted(os.listdir(tmp_path)):
+        if name.startswith("trace.") and name != "trace.jsonl":
+            events += obs_trace.read_jsonl(str(tmp_path / name))
+    seeds = sorted(e["seed"] for e in events if e["kind"] == "trial.ran")
+    # Without sanitization this reads [1, 2, 2, 3]: the dead first
+    # attempt's event plus the retry's.
+    assert seeds == [1, 2, 3]
+
+
 def test_run_sweep_parallel_matches_serial():
     points = [{"base": base} for base in (1, 2, 3)]
     serial = run_sweep(_sweep_trial, points, seeds=[1, 2], jobs=1)
